@@ -1,0 +1,107 @@
+// Command gsql is an interactive shell (and script runner) for the
+// graphsql engine. Statements end with ';'. Example session:
+//
+//	$ go run ./cmd/gsql
+//	gsql> CREATE TABLE e (s BIGINT, d BIGINT);
+//	gsql> INSERT INTO e VALUES (1,2), (2,3);
+//	gsql> SELECT CHEAPEST SUM(1) WHERE 1 REACHES 3 OVER e EDGE (s, d);
+//
+// Meta commands: \d lists tables, \explain SELECT ... prints the plan,
+// \q quits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphsql"
+)
+
+func main() {
+	file := flag.String("f", "", "run a SQL script instead of the REPL")
+	flag.Parse()
+
+	db := graphsql.Open()
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := db.ExecScript(string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if res != nil && len(res.Columns) > 0 {
+			fmt.Print(res)
+		}
+		return
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("gsql> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if runMeta(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			sql := buf.String()
+			buf.Reset()
+			res, err := db.ExecScript(sql)
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case res != nil && len(res.Columns) > 0:
+				fmt.Print(res)
+				fmt.Printf("(%d row(s))\n", res.Len())
+			default:
+				fmt.Println("ok")
+			}
+		}
+		prompt()
+	}
+}
+
+// runMeta executes a backslash command; it returns true on quit.
+func runMeta(db *graphsql.DB, cmd string) bool {
+	switch {
+	case cmd == `\q`:
+		return true
+	case cmd == `\d`:
+		for _, name := range db.Engine().Catalog().TableNames() {
+			t, _ := db.Engine().Catalog().Table(name)
+			fmt.Printf("%s (%d rows): %s\n", t.Name, t.NumRows(), t.Schema)
+		}
+	case strings.HasPrefix(cmd, `\explain `):
+		p, err := db.Explain(strings.TrimSuffix(strings.TrimPrefix(cmd, `\explain `), ";"))
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Print(p)
+		}
+	default:
+		fmt.Println(`meta commands: \d (tables), \explain <select>, \q (quit)`)
+	}
+	return false
+}

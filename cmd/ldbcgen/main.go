@@ -1,0 +1,101 @@
+// Command ldbcgen materializes the synthetic LDBC-SNB-like dataset to
+// CSV files (persons.csv, friends.csv), for inspection or for loading
+// into other systems:
+//
+//	go run ./cmd/ldbcgen -sf 1 -shrink 10 -out /tmp/snb
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"graphsql/internal/ldbc"
+	"graphsql/internal/types"
+)
+
+func main() {
+	sf := flag.Int("sf", 1, "scale factor (1, 3, 10, 30, 100, 300)")
+	shrink := flag.Int("shrink", 1, "divide sizes by this factor")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	ds, err := ldbc.Generate(ldbc.Config{SF: *sf, Shrink: *shrink, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := writePersons(filepath.Join(*out, "persons.csv"), ds); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := writeFriends(filepath.Join(*out, "friends.csv"), ds); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("SF %d (shrink %d): %d persons, %d directed edges written to %s\n",
+		*sf, *shrink, ds.NumVertices(), ds.NumEdges(), *out)
+}
+
+func writePersons(path string, ds *ldbc.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	w := csv.NewWriter(bw)
+	if err := w.Write([]string{"id", "firstName", "lastName"}); err != nil {
+		return err
+	}
+	for i := range ds.PersonIDs {
+		rec := []string{strconv.FormatInt(ds.PersonIDs[i], 10), ds.FirstNames[i], ds.LastNames[i]}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeFriends(path string, ds *ldbc.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	w := csv.NewWriter(bw)
+	if err := w.Write([]string{"src", "dst", "creationDate", "weight", "iweight"}); err != nil {
+		return err
+	}
+	for i := range ds.Src {
+		rec := []string{
+			strconv.FormatInt(ds.Src[i], 10),
+			strconv.FormatInt(ds.Dst[i], 10),
+			types.FormatDate(ds.CreationDays[i]),
+			strconv.FormatFloat(ds.Weight[i], 'f', 4, 64),
+			strconv.FormatInt(ds.IWeight[i], 10),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,106 @@
+package graphsql
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadCSVRoundTrip(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE f (src BIGINT, dst BIGINT, creationDate DATE, weight DOUBLE, active BOOLEAN)`)
+	csvData := strings.Join([]string{
+		"src,dst,creationDate,weight,active",
+		"1,2,2010-03-24,0.5,true",
+		"2,3,2010-12-02,2.0,false",
+		"3,4,,1.25,", // NULL date and boolean
+	}, "\n")
+	n, err := db.LoadCSV("f", strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d rows, want 3", n)
+	}
+	res, err := db.Query(`SELECT COUNT(*), SUM(weight), COUNT(creationDate) FROM f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row[0] != int64(3) || row[1] != 3.75 || row[2] != int64(2) {
+		t.Fatalf("row = %v", row)
+	}
+	// Graph queries work over CSV-loaded edges.
+	got, err := db.QueryScalar(`SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER f EDGE (src, dst)`, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != int64(3) {
+		t.Fatalf("distance = %v, want 3", got)
+	}
+}
+
+func TestLoadCSVColumnSubsetAndOrder(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE t (a BIGINT, b VARCHAR, c DOUBLE)`)
+	n, err := db.LoadCSV("t", strings.NewReader("B,A\nhello,7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("rows = %d", n)
+	}
+	res, err := db.Query(`SELECT a, b, c FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != int64(7) || res.Rows[0][1] != "hello" || res.Rows[0][2] != nil {
+		t.Fatalf("row = %v", res.Rows[0])
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE t (a BIGINT)`)
+	if _, err := db.LoadCSV("missing", strings.NewReader("a\n1\n")); err == nil {
+		t.Fatal("missing table must error")
+	}
+	if _, err := db.LoadCSV("t", strings.NewReader("zz\n1\n")); err == nil {
+		t.Fatal("unknown header column must error")
+	}
+	if _, err := db.LoadCSV("t", strings.NewReader("a\nnot_a_number\n")); err == nil {
+		t.Fatal("bad cell must error")
+	}
+}
+
+func TestDumpCSV(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE t (a BIGINT, b VARCHAR)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 'x'), (2, NULL)`)
+	var buf bytes.Buffer
+	if err := db.DumpCSV(&buf, `SELECT a, b FROM t ORDER BY a`); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,x\n2,\n"
+	if buf.String() != want {
+		t.Fatalf("dump = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTablesAndSchemaIntrospection(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE t (a BIGINT, b VARCHAR)`)
+	if got := db.Tables(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("tables = %v", got)
+	}
+	sch, err := db.TableSchema("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch) != 2 || sch[0] != "a BIGINT" || sch[1] != "b VARCHAR" {
+		t.Fatalf("schema = %v", sch)
+	}
+	if _, err := db.TableSchema("zz"); err == nil {
+		t.Fatal("missing table must error")
+	}
+}

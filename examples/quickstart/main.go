@@ -1,0 +1,63 @@
+// Quickstart: create a tiny directed graph from a plain edge table and
+// ask reachability and shortest-path questions with the SQL extension.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphsql"
+)
+
+func main() {
+	db := graphsql.Open()
+
+	// A graph is just a table whose rows are directed edges (§2 of the
+	// paper): src and dst address the vertices, extra columns are edge
+	// properties.
+	db.MustExec(`CREATE TABLE flights (
+		orig VARCHAR, dest VARCHAR, minutes BIGINT, price DOUBLE)`)
+	db.MustExec(`INSERT INTO flights VALUES
+		('AMS', 'LHR',  75,  90.0),
+		('AMS', 'CDG',  80,  75.0),
+		('LHR', 'JFK', 480, 420.0),
+		('CDG', 'JFK', 500, 380.0),
+		('JFK', 'SFO', 390, 250.0),
+		('AMS', 'JFK', 540, 700.0)`)
+
+	// Reachability: which airports can we reach from AMS?
+	res, err := db.Query(`
+		SELECT DISTINCT dest
+		FROM flights
+		WHERE 'AMS' REACHES dest OVER flights EDGE (orig, dest)
+		ORDER BY dest`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Reachable from AMS:")
+	fmt.Print(res)
+
+	// Fewest hops (unweighted shortest path): CHEAPEST SUM(1).
+	hops, err := db.QueryScalar(`
+		SELECT CHEAPEST SUM(1)
+		WHERE 'AMS' REACHES 'SFO' OVER flights EDGE (orig, dest)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAMS -> SFO in %v hops\n", hops)
+
+	// Cheapest route by price, with the path returned as a nested
+	// table and flattened by UNNEST.
+	res, err = db.Query(`
+		SELECT T.total, R.orig, R.dest, R.price, R.ordinality AS leg
+		FROM (
+			SELECT CHEAPEST SUM(f: price) AS (total, path)
+			WHERE 'AMS' REACHES 'SFO' OVER flights f EDGE (orig, dest)
+		) T, UNNEST(T.path) WITH ORDINALITY AS R
+		ORDER BY R.ordinality`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nCheapest AMS -> SFO route by price:")
+	fmt.Print(res)
+}

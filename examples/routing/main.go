@@ -1,0 +1,86 @@
+// Routing models a small road network — one of the classic domains the
+// paper's introduction lists — and computes weighted cheapest routes,
+// including routing over a filtered subgraph (avoiding toll roads)
+// with a WITH CTE as the edge table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphsql"
+)
+
+func main() {
+	db := graphsql.Open()
+	db.MustExec(`CREATE TABLE cities (name VARCHAR, country VARCHAR)`)
+	db.MustExec(`CREATE TABLE roads (
+		a VARCHAR, b VARCHAR, km BIGINT, toll BOOLEAN)`)
+	db.MustExec(`INSERT INTO cities VALUES
+		('Amsterdam', 'NL'), ('Utrecht', 'NL'), ('Rotterdam', 'NL'),
+		('Antwerp', 'BE'), ('Brussels', 'BE'), ('Paris', 'FR')`)
+	// Roads are bidirectional: store both directions.
+	db.MustExec(`INSERT INTO roads VALUES
+		('Amsterdam', 'Utrecht',    45, FALSE), ('Utrecht',   'Amsterdam',  45, FALSE),
+		('Amsterdam', 'Rotterdam',  78, FALSE), ('Rotterdam', 'Amsterdam',  78, FALSE),
+		('Utrecht',   'Antwerp',   150, FALSE), ('Antwerp',   'Utrecht',   150, FALSE),
+		('Rotterdam', 'Antwerp',   100, FALSE), ('Antwerp',   'Rotterdam', 100, FALSE),
+		('Antwerp',   'Brussels',   45, FALSE), ('Brussels',  'Antwerp',    45, FALSE),
+		('Brussels',  'Paris',     305, TRUE),  ('Paris',     'Brussels',  305, TRUE),
+		('Rotterdam', 'Paris',     430, TRUE),  ('Paris',     'Rotterdam', 430, TRUE)`)
+
+	// Shortest distance Amsterdam -> Paris over the full network.
+	res, err := db.Query(`
+		SELECT CHEAPEST SUM(r: km) AS total_km
+		WHERE 'Amsterdam' REACHES 'Paris' OVER roads r EDGE (a, b)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Cheapest Amsterdam -> Paris (km):")
+	fmt.Print(res)
+
+	// The route itself, leg by leg.
+	res, err = db.Query(`
+		SELECT R.a, R.b, R.km, R.ordinality AS leg
+		FROM (
+			SELECT CHEAPEST SUM(r: km) AS (total, path)
+			WHERE 'Amsterdam' REACHES 'Paris' OVER roads r EDGE (a, b)
+		) T, UNNEST(T.path) WITH ORDINALITY AS R
+		ORDER BY R.ordinality`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nRoute:")
+	fmt.Print(res)
+
+	// Routing per destination country, over the toll-free subgraph.
+	res, err = db.Query(`
+		WITH free AS (SELECT * FROM roads WHERE NOT toll)
+		SELECT c.name, c.country, CHEAPEST SUM(f: km) AS km
+		FROM cities c
+		WHERE 'Amsterdam' REACHES c.name OVER free f EDGE (a, b)
+		  AND c.name <> 'Amsterdam'
+		ORDER BY km`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nToll-free reachability from Amsterdam:")
+	fmt.Print(res)
+
+	// Aggregate on top of shortest paths: average toll-free distance
+	// per country (closure property of the extension: CHEAPEST SUM
+	// composes with GROUP BY like any other column).
+	res, err = db.Query(`
+		WITH free AS (SELECT * FROM roads WHERE NOT toll)
+		SELECT c.country, COUNT(*) AS cities, AVG(CHEAPEST SUM(f: km)) AS avg_km
+		FROM cities c
+		WHERE 'Amsterdam' REACHES c.name OVER free f EDGE (a, b)
+		  AND c.name <> 'Amsterdam'
+		GROUP BY c.country
+		ORDER BY avg_km`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAverage toll-free distance per country:")
+	fmt.Print(res)
+}

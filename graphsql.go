@@ -1,0 +1,332 @@
+// Package graphsql is an embedded, in-memory columnar SQL engine with
+// the graph extension of De Leo & Boncz, "Extending SQL for Computing
+// Shortest Paths" (GRADES'17): the REACHES reachability predicate, the
+// CHEAPEST SUM shortest-path summary function, nested-table paths and
+// UNNEST.
+//
+// Quick start:
+//
+//	db := graphsql.Open()
+//	db.MustExec(`CREATE TABLE friends (src BIGINT, dst BIGINT, weight DOUBLE)`)
+//	db.MustExec(`INSERT INTO friends VALUES (1, 2, 0.5), (2, 3, 2.0)`)
+//	res, err := db.Query(
+//	    `SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)`,
+//	    1, 3)
+//
+// The dialect supports standard SELECT blocks (joins, WITH CTEs, GROUP
+// BY/HAVING, ORDER BY/LIMIT, set operations, derived tables), CREATE
+// TABLE / INSERT / DELETE / DROP, and positional ? host parameters.
+package graphsql
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"graphsql/internal/engine"
+	"graphsql/internal/storage"
+	"graphsql/internal/types"
+)
+
+// DB is an embedded in-memory database. It is safe for concurrent use;
+// statements are serialized internally.
+type DB struct {
+	mu  sync.RWMutex
+	eng *engine.Engine
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	return &DB{eng: engine.New()}
+}
+
+// Path is the client-side representation of a nested-table shortest
+// path: the edge-table columns and one row per traversed edge, in
+// order from source to destination.
+type Path struct {
+	Columns []string
+	Rows    [][]any
+}
+
+// Len returns the number of edges in the path.
+func (p *Path) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.Rows)
+}
+
+// String renders the path compactly.
+func (p *Path) String() string {
+	if p == nil || len(p.Rows) == 0 {
+		return "[]"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, r := range p.Rows {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteByte('(')
+		for j, v := range r {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(formatCell(v))
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	// Columns holds the output column names.
+	Columns []string
+	// Rows holds the data; cells are int64, float64, string, bool,
+	// time.Time (DATE), *Path (nested tables) or nil (NULL).
+	Rows [][]any
+}
+
+// Len returns the row count.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	cells := make([][]string, len(r.Rows))
+	for j, c := range r.Columns {
+		widths[j] = len(c)
+	}
+	for i, row := range r.Rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			s := formatCell(v)
+			cells[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for j, s := range row {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(s)
+			b.WriteString(strings.Repeat(" ", widths[j]-len(s)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for j := range r.Columns {
+		if j > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", widths[j]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func formatCell(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return "NULL"
+	case time.Time:
+		return t.Format("2006-01-02")
+	case *Path:
+		return t.String()
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Exec runs a statement that returns no rows (DDL/DML, or a query
+// whose result is discarded).
+func (db *DB) Exec(sql string, args ...any) error {
+	_, err := db.Query(sql, args...)
+	return err
+}
+
+// MustExec is Exec that panics on error; intended for tests, examples
+// and setup code.
+func (db *DB) MustExec(sql string, args ...any) {
+	if err := db.Exec(sql, args...); err != nil {
+		panic(err)
+	}
+}
+
+// Query runs a statement and returns its result (nil Rows for DDL).
+// Supported argument types: int, int32, int64, float32, float64,
+// string, bool, time.Time (bound as DATE), and nil.
+func (db *DB) Query(sql string, args ...any) (*Result, error) {
+	params, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	chunk, err := db.eng.Query(sql, params...)
+	if err != nil {
+		return nil, err
+	}
+	if chunk == nil {
+		return &Result{}, nil
+	}
+	return chunkToResult(chunk), nil
+}
+
+// QueryScalar runs a query expected to produce exactly one row and one
+// column and returns the single cell.
+func (db *DB) QueryScalar(sql string, args ...any) (any, error) {
+	res, err := db.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) != 1 || len(res.Columns) != 1 {
+		return nil, fmt.Errorf("expected a single scalar, got %d row(s) × %d column(s)", len(res.Rows), len(res.Columns))
+	}
+	return res.Rows[0][0], nil
+}
+
+// ExecScript runs a semicolon-separated script and returns the result
+// of the last statement.
+func (db *DB) ExecScript(sql string) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	chunk, err := db.eng.ExecScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	if chunk == nil {
+		return &Result{}, nil
+	}
+	return chunkToResult(chunk), nil
+}
+
+// Explain returns the optimized logical plan of a SELECT.
+func (db *DB) Explain(sql string, args ...any) (string, error) {
+	params, err := bindArgs(args)
+	if err != nil {
+		return "", err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.eng.Explain(sql, params...)
+}
+
+// BuildGraphIndex precomputes and caches the graph (vertex dictionary
+// + CSR) of an edge table over the given source/destination columns —
+// the 'graph index' of the paper's §6. REACHES queries over that exact
+// table and column pair then skip graph construction. Writes to the
+// table invalidate the index.
+func (db *DB) BuildGraphIndex(table, src, dst string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng.BuildGraphIndex(table, src, dst)
+}
+
+// DropGraphIndexes discards all cached graph indexes of a table.
+func (db *DB) DropGraphIndexes(table string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.eng.DropGraphIndexes(table)
+}
+
+// Engine exposes the underlying engine for advanced embedding
+// (benchmark harnesses, instrumentation). Most callers never need it.
+func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// bindArgs converts Go values into engine parameter values.
+func bindArgs(args []any) ([]types.Value, error) {
+	out := make([]types.Value, len(args))
+	for i, a := range args {
+		v, err := toValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func toValue(a any) (types.Value, error) {
+	switch t := a.(type) {
+	case nil:
+		return types.NewNull(types.KindNull), nil
+	case int:
+		return types.NewInt(int64(t)), nil
+	case int32:
+		return types.NewInt(int64(t)), nil
+	case int64:
+		return types.NewInt(t), nil
+	case float32:
+		return types.NewFloat(float64(t)), nil
+	case float64:
+		return types.NewFloat(t), nil
+	case string:
+		return types.NewString(t), nil
+	case bool:
+		return types.NewBool(t), nil
+	case time.Time:
+		return types.NewDate(t.Unix() / 86400), nil
+	}
+	return types.Value{}, fmt.Errorf("unsupported argument type %T", a)
+}
+
+func chunkToResult(c *storage.Chunk) *Result {
+	res := &Result{Columns: make([]string, len(c.Schema))}
+	for j, m := range c.Schema {
+		res.Columns[j] = m.Name
+	}
+	n := c.NumRows()
+	res.Rows = make([][]any, n)
+	for i := 0; i < n; i++ {
+		row := make([]any, len(c.Cols))
+		for j, col := range c.Cols {
+			row[j] = fromValue(col.Get(i))
+		}
+		res.Rows[i] = row
+	}
+	return res
+}
+
+func fromValue(v types.Value) any {
+	if v.Null {
+		return nil
+	}
+	switch v.K {
+	case types.KindBool:
+		return v.I != 0
+	case types.KindInt:
+		return v.I
+	case types.KindFloat:
+		return v.F
+	case types.KindString:
+		return v.S
+	case types.KindDate:
+		return time.Unix(v.I*86400, 0).UTC()
+	case types.KindPath:
+		return pathToClient(v.P)
+	}
+	return nil
+}
+
+func pathToClient(p *types.Path) *Path {
+	out := &Path{Columns: append([]string(nil), p.Cols...)}
+	for _, r := range p.Rows {
+		row := make([]any, len(r))
+		for j, v := range r {
+			row[j] = fromValue(v)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+package analyze
+
+import (
+	"graphsql/internal/expr"
+	"graphsql/internal/sql/ast"
+	"graphsql/internal/storage"
+	"graphsql/internal/types"
+)
+
+// TypeNameKind maps a SQL type name (INT, DOUBLE, VARCHAR, ...) to its
+// runtime kind.
+func TypeNameKind(name string) (types.Kind, error) { return typeNameKind(name) }
+
+// BindScalar binds an expression that may not reference any column
+// (INSERT VALUES rows, LIMIT counts).
+func (b *Binder) BindScalar(e ast.Expr) (expr.Expr, error) {
+	return b.bindExpr(e, &scope{schema: storage.Schema{}})
+}
+
+// BindOver binds an expression against an explicit schema (used by
+// DELETE ... WHERE).
+func (b *Binder) BindOver(e ast.Expr, sch storage.Schema) (expr.Expr, error) {
+	return b.bindExpr(e, &scope{schema: sch, paths: map[int]storage.Schema{}})
+}

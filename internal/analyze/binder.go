@@ -1,0 +1,931 @@
+// Package analyze performs semantic analysis: it resolves names,
+// checks types, and translates parsed statements into bound logical
+// plans. This is the layer the paper's prototype modified most inside
+// the MonetDB SQL front-end (§3.1): recognizing the reachability
+// predicate in the WHERE clause, creating graph select / graph join
+// operators, and binding each CHEAPEST SUM in the projection to its
+// associated edge table.
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"graphsql/internal/expr"
+	"graphsql/internal/plan"
+	"graphsql/internal/sql/ast"
+	"graphsql/internal/storage"
+	"graphsql/internal/types"
+)
+
+// Binder translates AST statements into logical plans.
+type Binder struct {
+	cat    *storage.Catalog
+	params []types.Value
+	// ctes stacks WITH scopes; inner scopes shadow outer ones.
+	ctes []map[string]*rel
+}
+
+// rel is a bound relational subtree plus the nested-table bookkeeping
+// needed to give UNNEST a static schema: paths maps path-typed column
+// indices to the schemas of their nested tables.
+type rel struct {
+	node  plan.Node
+	paths map[int]storage.Schema
+}
+
+func (r *rel) schema() storage.Schema { return r.node.Schema() }
+
+// NewBinder returns a binder over the catalog. The parameter values
+// supply the kinds of ? placeholders.
+func NewBinder(cat *storage.Catalog, params []types.Value) *Binder {
+	return &Binder{cat: cat, params: params}
+}
+
+// BindSelect binds a full SELECT statement into an executable plan.
+func BindSelect(cat *storage.Catalog, stmt *ast.SelectStmt, params []types.Value) (plan.Node, error) {
+	b := NewBinder(cat, params)
+	r, err := b.bindSelectStmt(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return r.node, nil
+}
+
+// dualRel is the implicit single-row input of a FROM-less SELECT
+// (paper example A.1 has no FROM clause at all).
+func dualRel() *rel {
+	c := storage.NewChunk(storage.Schema{{Table: "__dual", Name: "__dual", Kind: types.KindInt}})
+	c.AppendRow([]types.Value{types.NewInt(0)})
+	return &rel{node: &plan.ChunkScan{Chunk: c, Name: "dual"}, paths: map[int]storage.Schema{}}
+}
+
+func (b *Binder) lookupCTE(name string) (*rel, bool) {
+	key := strings.ToLower(name)
+	for i := len(b.ctes) - 1; i >= 0; i-- {
+		if r, ok := b.ctes[i][key]; ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// bindSelectStmt binds WITH, the body, and the trailing clauses.
+func (b *Binder) bindSelectStmt(stmt *ast.SelectStmt) (*rel, error) {
+	if len(stmt.With) > 0 {
+		frame := make(map[string]*rel, len(stmt.With))
+		b.ctes = append(b.ctes, frame)
+		defer func() { b.ctes = b.ctes[:len(b.ctes)-1] }()
+		for i := range stmt.With {
+			cte := &stmt.With[i]
+			r, err := b.bindSelectStmt(cte.Select)
+			if err != nil {
+				return nil, fmt.Errorf("in WITH %s: %w", cte.Name, err)
+			}
+			sch := append(storage.Schema(nil), r.schema()...)
+			if len(cte.Columns) > 0 {
+				if len(cte.Columns) != len(sch) {
+					return nil, fmt.Errorf("WITH %s declares %d columns but its query produces %d",
+						cte.Name, len(cte.Columns), len(sch))
+				}
+				for j := range sch {
+					sch[j].Name = cte.Columns[j]
+				}
+			}
+			shared := &plan.Shared{Input: r.node, Name: cte.Name}
+			frame[strings.ToLower(cte.Name)] = &rel{
+				node:  &plan.Rename{Input: shared, Sch: sch},
+				paths: r.paths,
+			}
+		}
+	}
+
+	var r *rel
+	var err error
+	if core, ok := stmt.Body.(*ast.SelectCore); ok {
+		// ORDER BY of a plain block may reference non-projected
+		// columns; bindCore plans it with hidden sort columns.
+		r, err = b.bindCore(core, stmt.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		r, err = b.bindBody(stmt.Body)
+		if err != nil {
+			return nil, err
+		}
+		if len(stmt.OrderBy) > 0 {
+			sc := &scope{schema: r.schema(), paths: r.paths}
+			keys := make([]plan.SortKey, len(stmt.OrderBy))
+			for i, item := range stmt.OrderBy {
+				ke, err := b.bindOrderKey(item.Expr, sc, nil)
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = plan.SortKey{Expr: ke, Desc: item.Desc, NullsFirst: item.NullsFirst}
+			}
+			r = &rel{node: &plan.Sort{Input: r.node, Keys: keys}, paths: r.paths}
+		}
+	}
+
+	if stmt.Limit != nil || stmt.Offset != nil {
+		lim := &plan.Limit{Input: r.node}
+		empty := &scope{schema: storage.Schema{}}
+		if stmt.Limit != nil {
+			e, err := b.bindExpr(stmt.Limit, empty)
+			if err != nil {
+				return nil, fmt.Errorf("in LIMIT: %w", err)
+			}
+			lim.Count = e
+		}
+		if stmt.Offset != nil {
+			e, err := b.bindExpr(stmt.Offset, empty)
+			if err != nil {
+				return nil, fmt.Errorf("in OFFSET: %w", err)
+			}
+			lim.Skip = e
+		}
+		r = &rel{node: lim, paths: r.paths}
+	}
+	return r, nil
+}
+
+func (b *Binder) bindBody(body ast.QueryBody) (*rel, error) {
+	switch t := body.(type) {
+	case *ast.SelectCore:
+		return b.bindCore(t, nil)
+	case *ast.SetOp:
+		left, err := b.bindBody(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := b.bindBody(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		ls, rs := left.schema(), right.schema()
+		if len(ls) != len(rs) {
+			return nil, fmt.Errorf("%s operands have %d and %d columns", t.Op, len(ls), len(rs))
+		}
+		for i := range ls {
+			lk, rk := ls[i].Kind, rs[i].Kind
+			ck, ok := types.CommonKind(lk, rk)
+			if !ok {
+				return nil, fmt.Errorf("%s column %d: incompatible types %v and %v", t.Op, i+1, lk, rk)
+			}
+			if ck != lk {
+				left = castColumns(left, i, ck)
+			}
+			if ck != rk {
+				right = castColumns(right, i, ck)
+			}
+		}
+		return &rel{
+			node:  &plan.SetOp{Op: t.Op, All: t.All, Left: left.node, Right: right.node},
+			paths: map[int]storage.Schema{},
+		}, nil
+	}
+	return nil, fmt.Errorf("internal: unknown query body %T", body)
+}
+
+// castColumns wraps a rel in a projection that casts column i to kind.
+func castColumns(r *rel, i int, k types.Kind) *rel {
+	sch := r.schema()
+	exprs := make([]expr.Expr, len(sch))
+	out := append(storage.Schema(nil), sch...)
+	for j, m := range sch {
+		cr := &expr.ColRef{Idx: j, K: m.Kind, Name: m.Name}
+		if j == i {
+			exprs[j] = &expr.Cast{X: cr, To: k}
+			out[j].Kind = k
+		} else {
+			exprs[j] = cr
+		}
+	}
+	return &rel{node: &plan.Project{Input: r.node, Exprs: exprs, Sch: out}, paths: r.paths}
+}
+
+// splitWhere separates top-level REACHES conjuncts and subquery
+// predicates (IN/EXISTS) from ordinary ones (§2: the predicate lives
+// in the WHERE clause; this engine requires it as a top-level
+// conjunct, and plans subquery predicates as semi/anti joins).
+func splitWhere(e ast.Expr, reaches *[]*ast.ReachesExpr, subs *[]ast.Expr, plain *[]ast.Expr) error {
+	if bin, ok := e.(*ast.BinaryExpr); ok && bin.Op == "AND" {
+		if err := splitWhere(bin.L, reaches, subs, plain); err != nil {
+			return err
+		}
+		return splitWhere(bin.R, reaches, subs, plain)
+	}
+	switch t := e.(type) {
+	case *ast.ReachesExpr:
+		*reaches = append(*reaches, t)
+		return nil
+	case *ast.InSubquery, *ast.ExistsExpr:
+		*subs = append(*subs, e)
+		return nil
+	case *ast.UnaryExpr:
+		// NOT EXISTS (...) as a conjunct.
+		if ex, ok := t.X.(*ast.ExistsExpr); ok && t.Op == "NOT" {
+			*subs = append(*subs, &ast.ExistsExpr{Select: ex.Select, Not: !ex.Not, Line: ex.Line, Col: ex.Col})
+			return nil
+		}
+	}
+	if err := ensureNoReaches(e); err != nil {
+		return err
+	}
+	*plain = append(*plain, e)
+	return nil
+}
+
+// ensureNoReaches rejects REACHES anywhere under e (inside OR, NOT...).
+func ensureNoReaches(e ast.Expr) error {
+	switch t := e.(type) {
+	case *ast.ReachesExpr:
+		return fmt.Errorf("line %d col %d: REACHES must be a top-level AND conjunct of the WHERE clause", t.Line, t.Col)
+	case *ast.BinaryExpr:
+		if err := ensureNoReaches(t.L); err != nil {
+			return err
+		}
+		return ensureNoReaches(t.R)
+	case *ast.UnaryExpr:
+		return ensureNoReaches(t.X)
+	case *ast.IsNullExpr:
+		return ensureNoReaches(t.X)
+	case *ast.InExpr:
+		if err := ensureNoReaches(t.X); err != nil {
+			return err
+		}
+		for _, le := range t.List {
+			if err := ensureNoReaches(le); err != nil {
+				return err
+			}
+		}
+	case *ast.BetweenExpr:
+		for _, x := range []ast.Expr{t.X, t.Lo, t.Hi} {
+			if err := ensureNoReaches(x); err != nil {
+				return err
+			}
+		}
+	case *ast.LikeExpr:
+		if err := ensureNoReaches(t.X); err != nil {
+			return err
+		}
+		return ensureNoReaches(t.Pattern)
+	case *ast.CaseExpr:
+		if t.Operand != nil {
+			if err := ensureNoReaches(t.Operand); err != nil {
+				return err
+			}
+		}
+		for _, w := range t.Whens {
+			if err := ensureNoReaches(w.When); err != nil {
+				return err
+			}
+			if err := ensureNoReaches(w.Then); err != nil {
+				return err
+			}
+		}
+		if t.Else != nil {
+			return ensureNoReaches(t.Else)
+		}
+	case *ast.CastExpr:
+		return ensureNoReaches(t.X)
+	case *ast.FuncCall:
+		for _, a := range t.Args {
+			if err := ensureNoReaches(a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pendingMatch is a reachability predicate awaiting plan construction.
+type pendingMatch struct {
+	re             *ast.ReachesExpr
+	edge           *rel
+	edgeAlias      string
+	srcIdx, dstIdx int
+	x, y           expr.Expr
+	specs          []plan.CheapestSpec
+	specASTs       []*ast.CheapestSum
+}
+
+// bindOrderKey binds one ORDER BY key: an output ordinal, an output
+// column (alias), or — when fallback is non-nil — any expression over
+// the pre-projection scope.
+func (b *Binder) bindOrderKey(e ast.Expr, out *scope, fallback *scope) (expr.Expr, error) {
+	ke, usedFallback, err := b.bindOrderKey2(e, out, fallback)
+	if usedFallback {
+		return nil, fmt.Errorf("in ORDER BY: expression is not in the SELECT list")
+	}
+	return ke, err
+}
+
+// bindOrderKey2 binds an ORDER BY key against the output scope,
+// falling back to the pre-projection scope; it reports which scope
+// resolved the key.
+func (b *Binder) bindOrderKey2(e ast.Expr, out *scope, fallback *scope) (expr.Expr, bool, error) {
+	if num, ok := e.(*ast.NumberLit); ok && !num.IsFloat {
+		var n int
+		fmt.Sscanf(num.Text, "%d", &n)
+		if n < 1 || n > len(out.schema) {
+			return nil, false, fmt.Errorf("ORDER BY position %d is out of range", n)
+		}
+		m := out.schema[n-1]
+		return &expr.ColRef{Idx: n - 1, K: m.Kind, Name: m.Name}, false, nil
+	}
+	ke, err := b.bindExpr(e, out)
+	if err == nil {
+		return ke, false, nil
+	}
+	if fallback != nil {
+		if ke2, err2 := b.bindExpr(e, fallback); err2 == nil {
+			return ke2, true, nil
+		}
+	}
+	return nil, false, fmt.Errorf("in ORDER BY: %w", err)
+}
+
+// bindCore plans one SELECT block, including its ORDER BY (which may
+// reference non-projected columns through hidden sort columns).
+func (b *Binder) bindCore(core *ast.SelectCore, orderBy []ast.OrderItem) (*rel, error) {
+	// 1. FROM clause.
+	from, err := b.bindFrom(core.From)
+	if err != nil {
+		return nil, err
+	}
+	baseSchema := from.schema()
+	sc := &scope{schema: baseSchema, paths: from.paths}
+
+	// 2. WHERE: split off the reachability predicates and the subquery
+	// conjuncts.
+	var reachASTs []*ast.ReachesExpr
+	var subConjs []ast.Expr
+	var plainConjs []ast.Expr
+	if core.Where != nil {
+		if err := splitWhere(core.Where, &reachASTs, &subConjs, &plainConjs); err != nil {
+			return nil, err
+		}
+	}
+	node := from.node
+	if len(plainConjs) > 0 {
+		var preds []expr.Expr
+		for _, c := range plainConjs {
+			p, err := b.bindExpr(c, sc)
+			if err != nil {
+				return nil, fmt.Errorf("in WHERE: %w", err)
+			}
+			if p.Kind() != types.KindBool && p.Kind() != types.KindNull {
+				return nil, fmt.Errorf("WHERE condition must be boolean, got %v", p.Kind())
+			}
+			preds = append(preds, p)
+		}
+		node = &plan.Filter{Input: node, Pred: expr.AndAll(preds)}
+	}
+	for _, sq := range subConjs {
+		n2, err := b.bindSubqueryConjunct(node, sc, sq)
+		if err != nil {
+			return nil, err
+		}
+		node = n2
+	}
+
+	// 3. Bind each reachability predicate (the graph select of §3.1).
+	pendings := make([]*pendingMatch, 0, len(reachASTs))
+	seenAliases := map[string]bool{}
+	for _, re := range reachASTs {
+		pm, err := b.bindReaches(re, sc)
+		if err != nil {
+			return nil, err
+		}
+		if pm.edgeAlias != "" {
+			if seenAliases[strings.ToLower(pm.edgeAlias)] {
+				return nil, fmt.Errorf("duplicate edge-table variable %q", pm.edgeAlias)
+			}
+			seenAliases[strings.ToLower(pm.edgeAlias)] = true
+		}
+		pendings = append(pendings, pm)
+	}
+
+	// 4. Collect CHEAPEST SUM calls from the SELECT list (plus GROUP
+	// BY and HAVING) and attach them as specs of their bound predicate
+	// (§2's binding rules). Identical calls (same binding and weight
+	// rendering) share one spec.
+	type csPlacement struct {
+		pm       *pendingMatch
+		specIdx  int
+		wantPath bool
+	}
+	placements := map[string]csPlacement{}
+	registerCS := func(cs *ast.CheapestSum, wantPath bool, costName, pathName string) error {
+		key := csKey(cs)
+		if prev, dup := placements[key]; dup {
+			// Upgrade a cost-only registration when a later occurrence
+			// requests the path.
+			if wantPath && !prev.wantPath {
+				spec := &prev.pm.specs[prev.specIdx]
+				spec.WantPath = true
+				spec.PathName = pathName
+				spec.CostName = costName
+				prev.wantPath = true
+				placements[key] = prev
+			}
+			return nil
+		}
+		var pm *pendingMatch
+		if cs.Binding == "" {
+			if len(pendings) == 0 {
+				return fmt.Errorf("line %d col %d: CHEAPEST SUM requires a REACHES predicate in the WHERE clause", cs.Line, cs.Col)
+			}
+			if len(pendings) > 1 {
+				return fmt.Errorf("line %d col %d: CHEAPEST SUM must name its edge table (e.g. CHEAPEST SUM(e: expr)) when several REACHES predicates are present", cs.Line, cs.Col)
+			}
+			pm = pendings[0]
+		} else {
+			for _, p := range pendings {
+				if strings.EqualFold(p.edgeAlias, cs.Binding) {
+					pm = p
+					break
+				}
+			}
+			if pm == nil {
+				return fmt.Errorf("line %d col %d: CHEAPEST SUM refers to unknown edge-table variable %q", cs.Line, cs.Col, cs.Binding)
+			}
+		}
+		// Bind the weight over the edge table scope (§2: "a columnar
+		// expression to be evaluated in the context of the associated
+		// edge table").
+		esc := &scope{schema: pm.edge.schema(), paths: pm.edge.paths}
+		w, err := b.bindExpr(cs.Weight, esc)
+		if err != nil {
+			return fmt.Errorf("in CHEAPEST SUM: %w", err)
+		}
+		if !w.Kind().Numeric() {
+			return fmt.Errorf("CHEAPEST SUM weight must be numeric, got %v", w.Kind())
+		}
+		spec := plan.CheapestSpec{
+			Weight:   w,
+			CostKind: w.Kind(),
+			CostName: costName,
+			WantPath: wantPath,
+			PathName: pathName,
+		}
+		pm.specs = append(pm.specs, spec)
+		pm.specASTs = append(pm.specASTs, cs)
+		placements[key] = csPlacement{pm: pm, specIdx: len(pm.specs) - 1, wantPath: wantPath}
+		return nil
+	}
+	var collectCS func(e ast.Expr, bare bool, aliases []string) error
+	collectCS = func(e ast.Expr, bare bool, aliases []string) error {
+		switch t := e.(type) {
+		case *ast.CheapestSum:
+			costName, pathName := "cost", "path"
+			wantPath := false
+			if bare {
+				switch len(aliases) {
+				case 0:
+				case 1:
+					costName = aliases[0]
+				case 2:
+					costName, pathName = aliases[0], aliases[1]
+					wantPath = true
+				default:
+					return fmt.Errorf("CHEAPEST SUM yields at most two components, %d aliases given", len(aliases))
+				}
+			}
+			return registerCS(t, wantPath, costName, pathName)
+		case *ast.BinaryExpr:
+			if err := collectCS(t.L, false, nil); err != nil {
+				return err
+			}
+			return collectCS(t.R, false, nil)
+		case *ast.UnaryExpr:
+			return collectCS(t.X, false, nil)
+		case *ast.CastExpr:
+			return collectCS(t.X, false, nil)
+		case *ast.FuncCall:
+			for _, a := range t.Args {
+				if err := collectCS(a, false, nil); err != nil {
+					return err
+				}
+			}
+		case *ast.CaseExpr:
+			if t.Operand != nil {
+				if err := collectCS(t.Operand, false, nil); err != nil {
+					return err
+				}
+			}
+			for _, w := range t.Whens {
+				if err := collectCS(w.When, false, nil); err != nil {
+					return err
+				}
+				if err := collectCS(w.Then, false, nil); err != nil {
+					return err
+				}
+			}
+			if t.Else != nil {
+				return collectCS(t.Else, false, nil)
+			}
+		}
+		return nil
+	}
+	for i := range core.Items {
+		item := &core.Items[i]
+		if item.Star {
+			continue
+		}
+		if len(item.Aliases) == 2 {
+			if _, ok := item.Expr.(*ast.CheapestSum); !ok {
+				return nil, fmt.Errorf("the AS (a, b) alias form is only valid for a bare CHEAPEST SUM")
+			}
+		}
+		if err := collectCS(item.Expr, true, item.Aliases); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range core.GroupBy {
+		if err := collectCS(g, false, nil); err != nil {
+			return nil, err
+		}
+	}
+	if core.Having != nil {
+		if err := collectCS(core.Having, false, nil); err != nil {
+			return nil, err
+		}
+	}
+	for _, item := range orderBy {
+		if err := collectCS(item.Expr, false, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	// 5. Build the GraphMatch chain, assigning generated columns.
+	cheapest := map[string]cheapestCols{}
+	paths := map[int]storage.Schema{}
+	for k, v := range from.paths {
+		paths[k] = v
+	}
+	width := len(baseSchema)
+	for _, pm := range pendings {
+		sch := append(storage.Schema(nil), node.Schema()...)
+		for si := range pm.specs {
+			spec := &pm.specs[si]
+			cc := cheapestCols{costIdx: width, costKind: spec.CostKind, pathIdx: -1}
+			sch = append(sch, storage.ColMeta{Name: spec.CostName, Kind: spec.CostKind})
+			width++
+			if spec.WantPath {
+				cc.pathIdx = width
+				sch = append(sch, storage.ColMeta{Name: spec.PathName, Kind: types.KindPath})
+				// The nested table carries the edge table's columns,
+				// unqualified (§2).
+				nested := make(storage.Schema, 0, len(pm.edge.schema()))
+				for _, m := range pm.edge.schema() {
+					nested = append(nested, storage.ColMeta{Name: m.Name, Kind: m.Kind})
+				}
+				paths[cc.pathIdx] = nested
+				width++
+			}
+			cheapest[csKey(pm.specASTs[si])] = cc
+		}
+		node = &plan.GraphMatch{
+			Input:     node,
+			Edge:      pm.edge.node,
+			X:         pm.x,
+			Y:         pm.y,
+			SrcIdx:    pm.srcIdx,
+			DstIdx:    pm.dstIdx,
+			Specs:     pm.specs,
+			EdgeAlias: pm.edgeAlias,
+			Sch:       sch,
+		}
+	}
+	postMatch := &scope{schema: node.Schema(), paths: paths, cheapest: cheapest}
+
+	// 6. Aggregation.
+	var aggCalls []*ast.FuncCall
+	for i := range core.Items {
+		if core.Items[i].Star {
+			continue
+		}
+		if err := collectAggs(core.Items[i].Expr, &aggCalls); err != nil {
+			return nil, err
+		}
+	}
+	if core.Having != nil {
+		if err := collectAggs(core.Having, &aggCalls); err != nil {
+			return nil, err
+		}
+	}
+	grouped := len(core.GroupBy) > 0 || len(aggCalls) > 0
+	outScope := postMatch
+	if grouped {
+		env := &aggEnv{colOf: map[string]int{}}
+		var groupExprs []expr.Expr
+		aggSchema := storage.Schema{}
+		for _, g := range core.GroupBy {
+			ge, err := b.bindExpr(g, postMatch)
+			if err != nil {
+				return nil, fmt.Errorf("in GROUP BY: %w", err)
+			}
+			key := render(g)
+			if _, dup := env.colOf[key]; dup {
+				continue
+			}
+			env.colOf[key] = len(aggSchema)
+			groupExprs = append(groupExprs, ge)
+			meta := storage.ColMeta{Name: key, Kind: ge.Kind()}
+			if id, ok := g.(*ast.Ident); ok {
+				idx, rerr := postMatch.resolve(id.Parts)
+				if rerr == nil {
+					meta.Table = postMatch.schema[idx].Table
+					meta.Name = postMatch.schema[idx].Name
+				}
+			}
+			aggSchema = append(aggSchema, meta)
+		}
+		var aggSpecs []plan.AggSpec
+		for _, fc := range aggCalls {
+			key := render(fc)
+			if _, dup := env.colOf[key]; dup {
+				continue
+			}
+			spec, err := b.bindAggSpec(fc, postMatch)
+			if err != nil {
+				return nil, err
+			}
+			env.colOf[key] = len(aggSchema)
+			aggSpecs = append(aggSpecs, spec)
+			aggSchema = append(aggSchema, storage.ColMeta{Name: key, Kind: spec.Kind})
+		}
+		node = &plan.Aggregate{Input: node, GroupBy: groupExprs, Aggs: aggSpecs, Sch: aggSchema}
+		outScope = &scope{schema: aggSchema, paths: map[int]storage.Schema{}, agg: env}
+
+		if core.Having != nil {
+			h, err := b.bindExpr(core.Having, outScope)
+			if err != nil {
+				return nil, fmt.Errorf("in HAVING: %w", err)
+			}
+			if h.Kind() != types.KindBool && h.Kind() != types.KindNull {
+				return nil, fmt.Errorf("HAVING condition must be boolean, got %v", h.Kind())
+			}
+			node = &plan.Filter{Input: node, Pred: h}
+		}
+	} else if core.Having != nil {
+		return nil, fmt.Errorf("HAVING requires GROUP BY or aggregates")
+	}
+
+	// 7. Projection.
+	var exprs []expr.Expr
+	outSchema := storage.Schema{}
+	outPaths := map[int]storage.Schema{}
+	addCol := func(e expr.Expr, meta storage.ColMeta) {
+		if cr, ok := e.(*expr.ColRef); ok && cr.K == types.KindPath {
+			if nested, ok := outScope.paths[cr.Idx]; ok {
+				outPaths[len(exprs)] = nested
+			}
+		}
+		exprs = append(exprs, e)
+		outSchema = append(outSchema, meta)
+	}
+	for i := range core.Items {
+		item := &core.Items[i]
+		if item.Star {
+			if grouped {
+				return nil, fmt.Errorf("SELECT * cannot be combined with GROUP BY or aggregates")
+			}
+			matched := false
+			for idx, m := range baseSchema {
+				if m.Table == "__dual" {
+					continue
+				}
+				if item.StarTable != "" && !strings.EqualFold(m.Table, item.StarTable) {
+					continue
+				}
+				matched = true
+				cr := &expr.ColRef{Idx: idx, K: m.Kind, Name: m.QualifiedName()}
+				if nested, ok := outScope.paths[idx]; ok {
+					outPaths[len(exprs)] = nested
+				}
+				exprs = append(exprs, cr)
+				outSchema = append(outSchema, storage.ColMeta{Table: m.Table, Name: m.Name, Kind: m.Kind})
+			}
+			if item.StarTable != "" && !matched {
+				return nil, fmt.Errorf("unknown table %q in %s.*", item.StarTable, item.StarTable)
+			}
+			continue
+		}
+		// A bare CHEAPEST SUM with two aliases expands into the cost
+		// and path columns.
+		if cs, ok := item.Expr.(*ast.CheapestSum); ok && len(item.Aliases) == 2 {
+			cc := cheapest[csKey(cs)]
+			addCol(&expr.ColRef{Idx: cc.costIdx, K: cc.costKind, Name: item.Aliases[0]},
+				storage.ColMeta{Name: item.Aliases[0], Kind: cc.costKind})
+			addCol(&expr.ColRef{Idx: cc.pathIdx, K: types.KindPath, Name: item.Aliases[1]},
+				storage.ColMeta{Name: item.Aliases[1], Kind: types.KindPath})
+			continue
+		}
+		e, err := b.bindExpr(item.Expr, outScope)
+		if err != nil {
+			return nil, fmt.Errorf("in SELECT list: %w", err)
+		}
+		meta := storage.ColMeta{Name: deriveName(item), Kind: e.Kind()}
+		// A plain column reference without an alias keeps its source
+		// qualifier, so ORDER BY t.col still resolves after
+		// projection.
+		if cr, ok := e.(*expr.ColRef); ok && len(item.Aliases) == 0 {
+			if _, isIdent := item.Expr.(*ast.Ident); isIdent {
+				meta.Table = outScope.schema[cr.Idx].Table
+				meta.Name = outScope.schema[cr.Idx].Name
+			}
+		}
+		addCol(e, meta)
+	}
+	// ORDER BY: keys bind against the projected output first (aliases,
+	// ordinals); otherwise against the pre-projection scope, in which
+	// case the key expression is appended as a hidden projection
+	// column, sorted on, and trimmed afterwards.
+	visibleWidth := len(exprs)
+	var sortKeys []plan.SortKey
+	projScope := &scope{schema: outSchema, paths: outPaths}
+	for _, item := range orderBy {
+		ke, usedFallback, err := b.bindOrderKey2(item.Expr, projScope, outScope)
+		if err != nil {
+			return nil, err
+		}
+		// Keys bound against the fallback scope reference projection
+		// *inputs*; expose them as hidden outputs.
+		if usedFallback {
+			if core.Distinct {
+				return nil, fmt.Errorf("ORDER BY expressions must appear in the SELECT list when DISTINCT is used")
+			}
+			idx := len(exprs)
+			exprs = append(exprs, ke)
+			outSchema = append(outSchema, storage.ColMeta{Name: fmt.Sprintf("__sort%d", idx), Kind: ke.Kind()})
+			ke = &expr.ColRef{Idx: idx, K: ke.Kind(), Name: outSchema[idx].Name}
+		}
+		sortKeys = append(sortKeys, plan.SortKey{Expr: ke, Desc: item.Desc, NullsFirst: item.NullsFirst})
+	}
+
+	node = &plan.Project{Input: node, Exprs: exprs, Sch: outSchema}
+	out := &rel{node: node, paths: outPaths}
+	if core.Distinct {
+		out = &rel{node: &plan.Distinct{Input: out.node}, paths: out.paths}
+	}
+	if len(sortKeys) > 0 {
+		out = &rel{node: &plan.Sort{Input: out.node, Keys: sortKeys}, paths: out.paths}
+		if len(outSchema) > visibleWidth {
+			// Trim the hidden sort columns.
+			trimExprs := make([]expr.Expr, visibleWidth)
+			for i := 0; i < visibleWidth; i++ {
+				m := outSchema[i]
+				trimExprs[i] = &expr.ColRef{Idx: i, K: m.Kind, Name: m.Name}
+			}
+			out = &rel{
+				node:  &plan.Project{Input: out.node, Exprs: trimExprs, Sch: outSchema[:visibleWidth]},
+				paths: out.paths,
+			}
+		}
+	}
+	return out, nil
+}
+
+// bindSubqueryConjunct plans one IN/EXISTS WHERE conjunct as a
+// semi/anti join over the current node. Only uncorrelated subqueries
+// are supported: the subquery binds in its own scope and cannot see
+// the outer FROM items.
+func (b *Binder) bindSubqueryConjunct(node plan.Node, sc *scope, e ast.Expr) (plan.Node, error) {
+	switch t := e.(type) {
+	case *ast.ExistsExpr:
+		sub, err := b.bindSelectStmt(t.Select)
+		if err != nil {
+			return nil, fmt.Errorf("in EXISTS subquery: %w", err)
+		}
+		jt := plan.JoinSemi
+		if t.Not {
+			jt = plan.JoinAnti
+		}
+		return &plan.Join{Type: jt, Left: node, Right: sub.node}, nil
+
+	case *ast.InSubquery:
+		x, err := b.bindExpr(t.X, sc)
+		if err != nil {
+			return nil, fmt.Errorf("in IN subquery: %w", err)
+		}
+		sub, err := b.bindSelectStmt(t.Select)
+		if err != nil {
+			return nil, fmt.Errorf("in IN subquery: %w", err)
+		}
+		ss := sub.schema()
+		if len(ss) != 1 {
+			return nil, fmt.Errorf("line %d col %d: IN subquery must return exactly one column, got %d", t.Line, t.Col, len(ss))
+		}
+		width := len(node.Schema())
+		rref := &expr.ColRef{Idx: width, K: ss[0].Kind, Name: ss[0].Name}
+		lx, rx, err := promotePair(x, rref)
+		if err != nil {
+			return nil, fmt.Errorf("line %d col %d: IN subquery: %w", t.Line, t.Col, err)
+		}
+		on := &expr.Cmp{Op: expr.CmpEq, L: lx, R: rx}
+		if !t.Not {
+			return &plan.Join{Type: plan.JoinSemi, Left: node, Right: sub.node, On: on}, nil
+		}
+		// NOT IN, with SQL's NULL semantics: rows with NULL x never
+		// qualify, and a NULL anywhere in the subquery result makes
+		// the predicate unknown for every non-matching row.
+		shared := &plan.Shared{Input: sub.node, Name: "in-subquery"}
+		node = &plan.Filter{Input: node, Pred: &expr.IsNull{X: x, Not: true}}
+		node = &plan.Join{Type: plan.JoinAnti, Left: node,
+			Right: &plan.Rename{Input: shared, Sch: ss}, On: on}
+		nullRows := &plan.Filter{
+			Input: &plan.Rename{Input: shared, Sch: ss},
+			Pred:  &expr.IsNull{X: &expr.ColRef{Idx: 0, K: ss[0].Kind, Name: ss[0].Name}},
+		}
+		return &plan.Join{Type: plan.JoinAnti, Left: node, Right: nullRows}, nil
+	}
+	return nil, fmt.Errorf("internal: unexpected subquery conjunct %T", e)
+}
+
+// csKey canonicalizes a CHEAPEST SUM call so identical calls (same
+// binding, same weight expression) share one spec and one generated
+// column, wherever in the block they appear.
+func csKey(cs *ast.CheapestSum) string {
+	return strings.ToLower(cs.Binding) + "|" + render(cs.Weight)
+}
+
+// deriveName picks the output column name of a select item.
+func deriveName(item *ast.SelectItem) string {
+	if len(item.Aliases) > 0 {
+		return item.Aliases[0]
+	}
+	switch t := item.Expr.(type) {
+	case *ast.Ident:
+		return t.Parts[len(t.Parts)-1]
+	case *ast.CheapestSum:
+		return "cost"
+	default:
+		return render(item.Expr)
+	}
+}
+
+// bindReaches binds one reachability predicate: the edge table in its
+// own fresh scope, X and Y over the surrounding FROM scope (§2).
+func (b *Binder) bindReaches(re *ast.ReachesExpr, sc *scope) (*pendingMatch, error) {
+	var edge *rel
+	var err error
+	alias := re.EdgeAlias
+	switch t := re.Edge.(type) {
+	case *ast.TableRef:
+		edge, err = b.bindTableRef(t.Name, "")
+		if err != nil {
+			return nil, fmt.Errorf("line %d col %d: edge table: %w", re.Line, re.Col, err)
+		}
+	case *ast.SubqueryRef:
+		r, err2 := b.bindSelectStmt(t.Select)
+		if err2 != nil {
+			return nil, fmt.Errorf("line %d col %d: edge table: %w", re.Line, re.Col, err2)
+		}
+		edge = r
+	default:
+		return nil, fmt.Errorf("unsupported edge table expression %T", re.Edge)
+	}
+	es := edge.schema()
+	srcIdx := es.ColIndex("", re.Src)
+	if srcIdx < 0 {
+		return nil, fmt.Errorf("line %d col %d: edge source attribute %q not found or ambiguous", re.Line, re.Col, re.Src)
+	}
+	dstIdx := es.ColIndex("", re.Dst)
+	if dstIdx < 0 {
+		return nil, fmt.Errorf("line %d col %d: edge destination attribute %q not found or ambiguous", re.Line, re.Col, re.Dst)
+	}
+	if es[srcIdx].Kind != es[dstIdx].Kind {
+		return nil, fmt.Errorf("line %d col %d: edge attributes %s (%v) and %s (%v) have different types",
+			re.Line, re.Col, re.Src, es[srcIdx].Kind, re.Dst, es[dstIdx].Kind)
+	}
+	keyKind := es[srcIdx].Kind
+
+	x, err := b.bindExpr(re.X, sc)
+	if err != nil {
+		return nil, fmt.Errorf("in REACHES: %w", err)
+	}
+	y, err := b.bindExpr(re.Y, sc)
+	if err != nil {
+		return nil, fmt.Errorf("in REACHES: %w", err)
+	}
+	// §2: "The types for the attributes E.S, E.D, VP.X, VP.Y must
+	// match, otherwise a semantic error arises."
+	for _, side := range []struct {
+		e    expr.Expr
+		what string
+	}{{x, "source"}, {y, "destination"}} {
+		k := side.e.Kind()
+		if k != keyKind && k != types.KindNull {
+			return nil, fmt.Errorf("line %d col %d: REACHES %s has type %v but the edge keys have type %v",
+				re.Line, re.Col, side.what, k, keyKind)
+		}
+	}
+	return &pendingMatch{
+		re: re, edge: edge, edgeAlias: alias,
+		srcIdx: srcIdx, dstIdx: dstIdx, x: x, y: y,
+	}, nil
+}

@@ -1,0 +1,198 @@
+package analyze
+
+import (
+	"fmt"
+	"graphsql/internal/expr"
+	"graphsql/internal/plan"
+	"graphsql/internal/sql/ast"
+	"graphsql/internal/storage"
+	"graphsql/internal/types"
+)
+
+// bindFrom folds the FROM list left-to-right. Comma-separated items
+// combine by cross product; UNNEST items are lateral and consume the
+// scope accumulated so far (§2's lateral join shorthand).
+func (b *Binder) bindFrom(items []ast.TableExpr) (*rel, error) {
+	if len(items) == 0 {
+		return dualRel(), nil
+	}
+	var cur *rel
+	for _, item := range items {
+		next, err := b.bindFromItem(cur, item)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// bindFromItem binds one FROM item. cur is the relation accumulated by
+// earlier comma items (nil for the first); lateral UNNEST absorbs it.
+func (b *Binder) bindFromItem(cur *rel, te ast.TableExpr) (*rel, error) {
+	switch t := te.(type) {
+	case *ast.UnnestRef:
+		if cur == nil {
+			return nil, fmt.Errorf("UNNEST must follow the table expression that produces its argument")
+		}
+		return b.bindUnnest(cur, t)
+
+	case *ast.JoinExpr:
+		left, err := b.bindFromItem(cur, t.Left)
+		if err != nil {
+			return nil, err
+		}
+		if u, ok := t.Right.(*ast.UnnestRef); ok {
+			// [LEFT] JOIN UNNEST(...) ON TRUE is (outer) lateral
+			// unnesting.
+			if t.On != nil {
+				if lit, ok := t.On.(*ast.BoolLit); !ok || !lit.Val {
+					return nil, fmt.Errorf("JOIN UNNEST only supports ON TRUE")
+				}
+			}
+			return b.bindUnnest(left, u)
+		}
+		right, err := b.bindFromItem(nil, t.Right)
+		if err != nil {
+			return nil, err
+		}
+		combined := crossRel(left, right)
+		var jt plan.JoinType
+		switch t.Type {
+		case ast.JoinCross:
+			jt = plan.JoinCross
+		case ast.JoinInner:
+			jt = plan.JoinInner
+		case ast.JoinLeft:
+			jt = plan.JoinLeft
+		}
+		j := &plan.Join{Type: jt, Left: left.node, Right: right.node}
+		if t.On != nil {
+			concat := append(append(storage.Schema{}, left.schema()...), right.schema()...)
+			sc := &scope{schema: concat, paths: combined.paths}
+			on, err := b.bindExpr(t.On, sc)
+			if err != nil {
+				return nil, fmt.Errorf("in JOIN ON: %w", err)
+			}
+			if on.Kind() != types.KindBool && on.Kind() != types.KindNull {
+				return nil, fmt.Errorf("JOIN condition must be boolean, got %v", on.Kind())
+			}
+			j.On = on
+		} else if jt != plan.JoinCross {
+			return nil, fmt.Errorf("%v JOIN requires an ON condition", t.Type)
+		}
+		combined.node = j
+		return combined, nil
+
+	case *ast.TableRef:
+		r, err := b.bindTableRef(t.Name, t.Alias)
+		if err != nil {
+			return nil, err
+		}
+		if cur == nil {
+			return r, nil
+		}
+		out := crossRel(cur, r)
+		out.node = &plan.Join{Type: plan.JoinCross, Left: cur.node, Right: r.node}
+		return out, nil
+
+	case *ast.SubqueryRef:
+		inner, err := b.bindSelectStmt(t.Select)
+		if err != nil {
+			return nil, fmt.Errorf("in subquery: %w", err)
+		}
+		r := requalify(inner, t.Alias)
+		if cur == nil {
+			return r, nil
+		}
+		out := crossRel(cur, r)
+		out.node = &plan.Join{Type: plan.JoinCross, Left: cur.node, Right: r.node}
+		return out, nil
+	}
+	return nil, fmt.Errorf("internal: unknown FROM item %T", te)
+}
+
+// bindTableRef resolves a named relation: CTEs shadow base tables.
+func (b *Binder) bindTableRef(name, alias string) (*rel, error) {
+	if alias == "" {
+		alias = name
+	}
+	if cte, ok := b.lookupCTE(name); ok {
+		return requalify(cte, alias), nil
+	}
+	t, ok := b.cat.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("table %q does not exist", name)
+	}
+	sch := make(storage.Schema, len(t.Schema))
+	for i, m := range t.Schema {
+		sch[i] = storage.ColMeta{Table: alias, Name: m.Name, Kind: m.Kind}
+	}
+	return &rel{node: &plan.Scan{Table: t, Alias: alias, Sch: sch}, paths: map[int]storage.Schema{}}, nil
+}
+
+// requalify exposes a relation under a new binding qualifier.
+func requalify(r *rel, alias string) *rel {
+	sch := make(storage.Schema, len(r.schema()))
+	for i, m := range r.schema() {
+		sch[i] = storage.ColMeta{Table: alias, Name: m.Name, Kind: m.Kind}
+	}
+	return &rel{node: &plan.Rename{Input: r.node, Sch: sch}, paths: r.paths}
+}
+
+// crossRel merges the path bookkeeping of two sides of a join; the
+// caller sets the node.
+func crossRel(left, right *rel) *rel {
+	paths := map[int]storage.Schema{}
+	for k, v := range left.paths {
+		paths[k] = v
+	}
+	off := len(left.schema())
+	for k, v := range right.paths {
+		paths[k+off] = v
+	}
+	return &rel{paths: paths}
+}
+
+// bindUnnest builds the lateral unnest of a nested-table column (§2).
+func (b *Binder) bindUnnest(cur *rel, u *ast.UnnestRef) (*rel, error) {
+	sc := &scope{schema: cur.schema(), paths: cur.paths}
+	pe, err := b.bindExpr(u.Expr, sc)
+	if err != nil {
+		return nil, fmt.Errorf("in UNNEST: %w", err)
+	}
+	if pe.Kind() != types.KindPath {
+		return nil, fmt.Errorf("UNNEST requires a nested-table argument, got %v", pe.Kind())
+	}
+	cr, ok := pe.(*expr.ColRef)
+	if !ok {
+		return nil, fmt.Errorf("UNNEST argument must be a nested-table column reference")
+	}
+	nested, ok := cur.paths[cr.Idx]
+	if !ok {
+		return nil, fmt.Errorf("internal: no schema tracked for nested-table column %s", cr.Name)
+	}
+
+	sch := append(storage.Schema(nil), cur.schema()...)
+	for _, m := range nested {
+		sch = append(sch, storage.ColMeta{Table: u.Alias, Name: m.Name, Kind: m.Kind})
+	}
+	if u.Ordinality {
+		sch = append(sch, storage.ColMeta{Table: u.Alias, Name: "ordinality", Kind: types.KindInt})
+	}
+	node := &plan.Unnest{
+		Input:      cur.node,
+		PathExpr:   pe,
+		PathSchema: nested,
+		Ordinality: u.Ordinality,
+		Outer:      u.Outer,
+		Alias:      u.Alias,
+		Sch:        sch,
+	}
+	// Input path columns stay addressable after the unnest.
+	paths := map[int]storage.Schema{}
+	for k, v := range cur.paths {
+		paths[k] = v
+	}
+	return &rel{node: node, paths: paths}, nil
+}

@@ -1,0 +1,110 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"graphsql/internal/sql/ast"
+)
+
+// render produces a canonical textual form of an AST expression, used
+// to match GROUP BY expressions and repeated aggregate calls against
+// the SELECT list and HAVING clause (identifiers are lower-cased so
+// matching is case-insensitive, as name resolution is).
+func render(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		parts := make([]string, len(t.Parts))
+		for i, p := range t.Parts {
+			parts[i] = strings.ToLower(p)
+		}
+		return strings.Join(parts, ".")
+	case *ast.NumberLit:
+		return t.Text
+	case *ast.StringLit:
+		return "'" + strings.ReplaceAll(t.Val, "'", "''") + "'"
+	case *ast.BoolLit:
+		if t.Val {
+			return "TRUE"
+		}
+		return "FALSE"
+	case *ast.NullLit:
+		return "NULL"
+	case *ast.ParamExpr:
+		return fmt.Sprintf("?%d", t.Index)
+	case *ast.BinaryExpr:
+		return "(" + render(t.L) + " " + t.Op + " " + render(t.R) + ")"
+	case *ast.UnaryExpr:
+		return "(" + t.Op + " " + render(t.X) + ")"
+	case *ast.IsNullExpr:
+		if t.Not {
+			return "(" + render(t.X) + " IS NOT NULL)"
+		}
+		return "(" + render(t.X) + " IS NULL)"
+	case *ast.InExpr:
+		var b strings.Builder
+		b.WriteString("(" + render(t.X))
+		if t.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		for i, le := range t.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(render(le))
+		}
+		b.WriteString("))")
+		return b.String()
+	case *ast.BetweenExpr:
+		n := ""
+		if t.Not {
+			n = " NOT"
+		}
+		return "(" + render(t.X) + n + " BETWEEN " + render(t.Lo) + " AND " + render(t.Hi) + ")"
+	case *ast.LikeExpr:
+		n := ""
+		if t.Not {
+			n = " NOT"
+		}
+		return "(" + render(t.X) + n + " LIKE " + render(t.Pattern) + ")"
+	case *ast.CaseExpr:
+		var b strings.Builder
+		b.WriteString("CASE")
+		if t.Operand != nil {
+			b.WriteString(" " + render(t.Operand))
+		}
+		for _, w := range t.Whens {
+			b.WriteString(" WHEN " + render(w.When) + " THEN " + render(w.Then))
+		}
+		if t.Else != nil {
+			b.WriteString(" ELSE " + render(t.Else))
+		}
+		b.WriteString(" END")
+		return b.String()
+	case *ast.CastExpr:
+		return "CAST(" + render(t.X) + " AS " + t.TypeName + ")"
+	case *ast.FuncCall:
+		var b strings.Builder
+		b.WriteString(t.Name + "(")
+		if t.Star {
+			b.WriteString("*")
+		}
+		if t.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(render(a))
+		}
+		b.WriteString(")")
+		return b.String()
+	case *ast.CheapestSum:
+		return fmt.Sprintf("CHEAPEST SUM(%s: %s)", t.Binding, render(t.Weight))
+	case *ast.ReachesExpr:
+		return fmt.Sprintf("(%s REACHES %s)", render(t.X), render(t.Y))
+	}
+	return fmt.Sprintf("%T", e)
+}

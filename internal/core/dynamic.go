@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"graphsql/internal/expr"
+	"graphsql/internal/graph"
+	"graphsql/internal/plan"
+	"graphsql/internal/storage"
+	"graphsql/internal/types"
+)
+
+// DynamicGraph is an updatable graph index: a CSR snapshot plus a
+// delta of edges appended since the snapshot. It answers the open
+// problem of the paper's §6 — graph indices must be "amenable to the
+// updates on the underlying tables" even though the CSR itself is
+// immutable. Appended rows are absorbed in O(new edges); once the
+// delta outgrows RebuildFraction of the snapshot the whole index is
+// rebuilt.
+//
+// Restrictions: the underlying table must be append-only between
+// refreshes (DELETE and DROP invalidate the index entirely, handled by
+// the engine).
+type DynamicGraph struct {
+	pg *PreparedGraph
+	// delta holds edges of rows appended after the snapshot; nil when
+	// the index is exactly the snapshot.
+	delta *graph.Delta
+	// appliedRows counts the source-table rows already reflected
+	// (snapshot + delta).
+	appliedRows int
+	// RebuildFraction triggers a snapshot rebuild once
+	// delta edges > RebuildFraction × snapshot edges. 0 means the
+	// default of 0.25.
+	RebuildFraction float64
+}
+
+// NewDynamicGraph builds the initial snapshot from the table chunk.
+func NewDynamicGraph(edges *storage.Chunk, srcIdx, dstIdx int) (*DynamicGraph, error) {
+	pg, err := BuildGraph(edges, srcIdx, dstIdx)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicGraph{pg: pg, appliedRows: edges.NumRows()}, nil
+}
+
+// Prepared exposes the current snapshot (plus delta via Solver()).
+func (dg *DynamicGraph) Prepared() *PreparedGraph { return dg.pg }
+
+// AppliedRows reports how many source-table rows the index reflects.
+func (dg *DynamicGraph) AppliedRows() int { return dg.appliedRows }
+
+// DeltaEdges reports the number of edges currently in the delta.
+func (dg *DynamicGraph) DeltaEdges() int {
+	if dg.delta == nil {
+		return 0
+	}
+	return dg.delta.Edges
+}
+
+// rebuildThreshold returns the delta size that triggers a rebuild.
+func (dg *DynamicGraph) rebuildThreshold() int {
+	f := dg.RebuildFraction
+	if f <= 0 {
+		f = 0.25
+	}
+	t := int(f * float64(dg.pg.NumEdges()))
+	if t < 64 {
+		t = 64 // tiny graphs: don't rebuild on every insert
+	}
+	return t
+}
+
+// Refresh absorbs rows appended to the table chunk since the last
+// refresh. It must be called with the full current chunk of the same
+// table the index was built on; rows before appliedRows are assumed
+// unchanged (append-only contract). Returns whether a full rebuild
+// happened.
+func (dg *DynamicGraph) Refresh(current *storage.Chunk) (rebuilt bool, err error) {
+	n := current.NumRows()
+	switch {
+	case n < dg.appliedRows:
+		return false, fmt.Errorf("graph index: table shrank from %d to %d rows (append-only contract violated)", dg.appliedRows, n)
+	case n == dg.appliedRows:
+		return false, nil
+	}
+	newEdges := n - dg.appliedRows
+	if dg.DeltaEdges()+newEdges > dg.rebuildThreshold() {
+		pg, err := BuildGraph(current, dg.pg.SrcIdx, dg.pg.DstIdx)
+		if err != nil {
+			return false, err
+		}
+		dg.pg = pg
+		dg.delta = nil
+		dg.appliedRows = n
+		return true, nil
+	}
+	if dg.delta == nil {
+		dg.delta = graph.NewDelta(dg.pg.NumVertices())
+	}
+	// The snapshot's Edges chunk must stay row-aligned with the CSR
+	// Perm and the delta rows; append the new rows (skipping NULL
+	// endpoints exactly like BuildGraph does).
+	sc, dc := current.Cols[dg.pg.SrcIdx], current.Cols[dg.pg.DstIdx]
+	if sc.Kind != dg.pg.KeyKind {
+		return false, fmt.Errorf("graph index: key kind changed from %v to %v", dg.pg.KeyKind, sc.Kind)
+	}
+	// dg.appliedRows is the snapshot's table row count; when the edge
+	// chunk aliases the live table columns it already "sees" the
+	// appended rows, so the private copy must stop at the snapshot.
+	ownEdgesChunk(dg.pg, dg.appliedRows)
+	for row := dg.appliedRows; row < n; row++ {
+		if sc.IsNull(row) || dc.IsNull(row) {
+			continue
+		}
+		var s, d graph.VertexID
+		if stringKeyed(dg.pg.KeyKind) {
+			s = dg.pg.Dict.EncodeString(sc.Strs[row])
+			d = dg.pg.Dict.EncodeString(dc.Strs[row])
+		} else {
+			s = dg.pg.Dict.EncodeInt(sc.Ints[row])
+			d = dg.pg.Dict.EncodeInt(dc.Ints[row])
+		}
+		// The edge's row id inside the index's own edge chunk.
+		deltaRow := int32(dg.pg.Edges.NumRows())
+		for c := range current.Cols {
+			dg.pg.Edges.Cols[c].Append(current.Cols[c].Get(row))
+		}
+		dg.delta.Add(s, d, deltaRow)
+	}
+	if dg.pg.Dict.Len() > dg.delta.N {
+		dg.delta.N = dg.pg.Dict.Len()
+	}
+	dg.appliedRows = n
+	return false, nil
+}
+
+// ownEdgesChunk makes the prepared graph's edge chunk privately
+// writable, copying exactly the snapshot rows. BuildGraph aliases the
+// table columns when no NULL compaction happened; before appending
+// delta rows we must copy, or the base table would be corrupted (and
+// rows appended to the table since the snapshot would be duplicated).
+func ownEdgesChunk(pg *PreparedGraph, snapshotRows int) {
+	if pg.edgesOwned {
+		return
+	}
+	if snapshotRows > pg.Edges.NumRows() {
+		snapshotRows = pg.Edges.NumRows()
+	}
+	rows := make([]int, snapshotRows)
+	for i := range rows {
+		rows[i] = i
+	}
+	pg.Edges = pg.Edges.Gather(rows)
+	pg.edgesOwned = true
+}
+
+// Solver returns a solver over the snapshot plus the delta.
+func (dg *DynamicGraph) Solver() *graph.Solver {
+	return graph.NewSolverWithDelta(dg.pg.CSR, dg.delta)
+}
+
+// Match runs a GraphMatch through the dynamic index (snapshot+delta).
+func (dg *DynamicGraph) Match(gm *plan.GraphMatch, input *storage.Chunk, xCol, yCol *storage.Column, ctx *expr.Context) (*storage.Chunk, error) {
+	return dg.pg.match(gm, input, xCol, yCol, ctx, dg.delta)
+}
+
+// Reachability answers one pair over the current snapshot+delta.
+func (dg *DynamicGraph) Reachability(srcKey, dstKey types.Value) (bool, error) {
+	sc := storage.NewColumn(dg.pg.KeyKind, 1)
+	sc.Append(srcKey)
+	dc := storage.NewColumn(dg.pg.KeyKind, 1)
+	dc.Append(dstKey)
+	srcs := dg.pg.encodeColumn(sc)
+	dsts := dg.pg.encodeColumn(dc)
+	sol, err := dg.Solver().Solve(srcs, dsts, nil)
+	if err != nil {
+		return false, err
+	}
+	return sol.Reached[0], nil
+}

@@ -1,0 +1,282 @@
+// Package core implements the paper's primary contribution at the
+// physical level: the execution of the graph select / graph join
+// operator (GraphMatch). Following §3.1-§3.3, it materializes the edge
+// table, dictionary-encodes all vertex keys into the dense domain H,
+// builds a CSR representation, invokes the shortest-path runtime for
+// the batch of ⟨source, destination⟩ pairs, and materializes the
+// result set back, appending CHEAPEST SUM cost and nested-table path
+// columns.
+package core
+
+import (
+	"fmt"
+
+	"graphsql/internal/expr"
+	"graphsql/internal/graph"
+	"graphsql/internal/plan"
+	"graphsql/internal/storage"
+	"graphsql/internal/types"
+)
+
+// PreparedGraph is a reusable compiled graph: the vertex dictionary,
+// the CSR and the (compacted) edge chunk it references. Building it is
+// the dominant cost of a shortest-path query (§4); caching it across
+// queries is the 'graph index' of the paper's future work (§6),
+// exposed through the facade's BuildGraphIndex.
+type PreparedGraph struct {
+	// Dict maps vertex keys to H = {0..N-1}.
+	Dict *graph.Dict
+	// CSR is the adjacency structure.
+	CSR *graph.CSR
+	// Edges is the materialized edge chunk the CSR indexes; rows with
+	// NULL endpoints were removed.
+	Edges *storage.Chunk
+	// SrcIdx and DstIdx locate the key columns inside Edges.
+	SrcIdx, DstIdx int
+	// KeyKind is the shared type of the vertex keys.
+	KeyKind types.Kind
+	// edgesOwned reports whether Edges is a private copy (true after
+	// NULL compaction or the first dynamic-index append) rather than
+	// an alias of the base table columns.
+	edgesOwned bool
+}
+
+// stringKeyed reports whether vertex keys use the string key space.
+func stringKeyed(k types.Kind) bool { return k == types.KindString }
+
+// BuildGraph compiles an edge chunk into a PreparedGraph. The source
+// and destination columns must share one comparable scalar kind.
+func BuildGraph(edges *storage.Chunk, srcIdx, dstIdx int) (*PreparedGraph, error) {
+	if srcIdx < 0 || srcIdx >= len(edges.Cols) || dstIdx < 0 || dstIdx >= len(edges.Cols) {
+		return nil, fmt.Errorf("graph build: edge column index out of range")
+	}
+	sc, dc := edges.Cols[srcIdx], edges.Cols[dstIdx]
+	if sc.Kind != dc.Kind {
+		return nil, fmt.Errorf("graph build: source kind %v differs from destination kind %v", sc.Kind, dc.Kind)
+	}
+	if sc.Kind == types.KindPath {
+		return nil, fmt.Errorf("graph build: nested tables cannot be vertex keys")
+	}
+	// Rows with NULL endpoints do not define edges; compact them away
+	// so CSR positions align with chunk rows.
+	owned := false
+	if sc.HasNulls() || dc.HasNulls() {
+		keep := make([]int, 0, edges.NumRows())
+		for i := 0; i < edges.NumRows(); i++ {
+			if !sc.IsNull(i) && !dc.IsNull(i) {
+				keep = append(keep, i)
+			}
+		}
+		edges = edges.Gather(keep)
+		sc, dc = edges.Cols[srcIdx], edges.Cols[dstIdx]
+		owned = true
+	}
+	m := edges.NumRows()
+	var dict *graph.Dict
+	srcIDs := make([]graph.VertexID, m)
+	dstIDs := make([]graph.VertexID, m)
+	if stringKeyed(sc.Kind) {
+		dict = graph.NewStringDict(m)
+		for i := 0; i < m; i++ {
+			srcIDs[i] = dict.EncodeString(sc.Strs[i])
+		}
+		for i := 0; i < m; i++ {
+			dstIDs[i] = dict.EncodeString(dc.Strs[i])
+		}
+	} else {
+		dict = graph.NewIntDict(m)
+		ints := func(c *storage.Column) []int64 { return c.Ints }
+		ss, ds := ints(sc), ints(dc)
+		for i := 0; i < m; i++ {
+			srcIDs[i] = dict.EncodeInt(ss[i])
+		}
+		for i := 0; i < m; i++ {
+			dstIDs[i] = dict.EncodeInt(ds[i])
+		}
+	}
+	csr, err := graph.BuildCSR(dict.Len(), srcIDs, dstIDs)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedGraph{
+		Dict: dict, CSR: csr, Edges: edges,
+		SrcIdx: srcIdx, DstIdx: dstIdx, KeyKind: sc.Kind,
+		edgesOwned: owned,
+	}, nil
+}
+
+// NumVertices returns |V|.
+func (pg *PreparedGraph) NumVertices() int { return pg.Dict.Len() }
+
+// NumEdges returns |E| (after NULL compaction).
+func (pg *PreparedGraph) NumEdges() int { return pg.CSR.NumEdges() }
+
+// encodeColumn maps a column of vertex keys onto dense ids; values
+// that are NULL or not vertices map to NoVertex (they fail the
+// reachability predicate, §3.1's "initial filtering").
+func (pg *PreparedGraph) encodeColumn(c *storage.Column) []graph.VertexID {
+	n := c.Len()
+	out := make([]graph.VertexID, n)
+	if stringKeyed(pg.KeyKind) {
+		for i := 0; i < n; i++ {
+			if c.IsNull(i) {
+				out[i] = graph.NoVertex
+				continue
+			}
+			out[i] = pg.Dict.LookupString(c.Strs[i])
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		if c.IsNull(i) {
+			out[i] = graph.NoVertex
+			continue
+		}
+		out[i] = pg.Dict.LookupInt(c.Ints[i])
+	}
+	return out
+}
+
+// Match executes a GraphMatch over a prepared graph: it filters the
+// input rows by the reachability predicate and appends one cost (and
+// optional path) column per CheapestSpec. X and Y are the evaluated
+// key columns of the input chunk.
+func (pg *PreparedGraph) Match(gm *plan.GraphMatch, input *storage.Chunk, xCol, yCol *storage.Column, ctx *expr.Context) (*storage.Chunk, error) {
+	return pg.match(gm, input, xCol, yCol, ctx, nil)
+}
+
+// match is Match with an optional delta of appended edges (dynamic
+// graph index, §6).
+func (pg *PreparedGraph) match(gm *plan.GraphMatch, input *storage.Chunk, xCol, yCol *storage.Column, ctx *expr.Context, delta *graph.Delta) (*storage.Chunk, error) {
+	srcs := pg.encodeColumn(xCol)
+	dsts := pg.encodeColumn(yCol)
+
+	// Materialize the weights of each CHEAPEST SUM over the edge chunk
+	// (§2: "its result is computed before executing CHEAPEST SUM").
+	specs := make([]graph.Spec, len(gm.Specs))
+	for k := range gm.Specs {
+		sp := &gm.Specs[k]
+		gs := graph.Spec{
+			NeedPath:        sp.WantPath,
+			Float:           sp.CostKind == types.KindFloat,
+			ForceBinaryHeap: sp.ForceBinaryHeap,
+		}
+		if cv, ok := expr.IsConst(sp.Weight, ctx); ok && !cv.Null {
+			gs.Unit = true
+			if gs.Float {
+				gs.UnitF = cv.AsFloat()
+			} else {
+				gs.UnitI = cv.I
+			}
+		} else {
+			wc, err := sp.Weight.Eval(ctx, pg.Edges)
+			if err != nil {
+				return nil, err
+			}
+			if wc.HasNulls() {
+				return nil, fmt.Errorf("CHEAPEST SUM: weight expression %s produced NULL", sp.Weight)
+			}
+			if gs.Float {
+				if wc.Kind == types.KindFloat {
+					gs.WeightsF = wc.Floats
+				} else {
+					fs := make([]float64, wc.Len())
+					for i := range fs {
+						fs[i] = float64(wc.Ints[i])
+					}
+					gs.WeightsF = fs
+				}
+			} else {
+				gs.WeightsI = wc.Ints
+			}
+		}
+		if err := graph.ValidateWeights(&gs); err != nil {
+			return nil, err
+		}
+		specs[k] = gs
+	}
+
+	solver := graph.NewSolverWithDelta(pg.CSR, delta)
+	sol, err := solver.Solve(srcs, dsts, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialize the surviving rows plus the generated columns.
+	keep := make([]int, 0, len(sol.Reached))
+	for i, r := range sol.Reached {
+		if r {
+			keep = append(keep, i)
+		}
+	}
+	out := input.Gather(keep)
+	out.Schema = gm.Sch[:len(input.Schema)]
+	for k := range gm.Specs {
+		sp := &gm.Specs[k]
+		costCol := storage.NewColumn(sp.CostKind, len(keep))
+		if sp.CostKind == types.KindFloat {
+			for _, i := range keep {
+				costCol.AppendFloat(sol.CostF[k][i])
+			}
+		} else {
+			for _, i := range keep {
+				costCol.AppendInt(sol.CostI[k][i])
+			}
+		}
+		out.Cols = append(out.Cols, costCol)
+		if sp.WantPath {
+			pathCol := storage.NewColumn(types.KindPath, len(keep))
+			names, kinds := pg.pathSchema()
+			for _, i := range keep {
+				pathCol.AppendPath(pg.buildPath(names, kinds, sol.Paths[k][i]))
+			}
+			out.Cols = append(out.Cols, pathCol)
+		}
+	}
+	out.Schema = gm.Sch
+	return out, nil
+}
+
+// pathSchema derives the nested-table column names/kinds from the edge
+// chunk (§2: "the attributes enclosed in the nested table ... are the
+// same as the attributes of the EDGE table expression").
+func (pg *PreparedGraph) pathSchema() ([]string, []types.Kind) {
+	names := make([]string, len(pg.Edges.Schema))
+	kinds := make([]types.Kind, len(pg.Edges.Schema))
+	for i, m := range pg.Edges.Schema {
+		names[i] = m.Name
+		kinds[i] = m.Kind
+	}
+	return names, kinds
+}
+
+// buildPath materializes a nested-table value from edge-row references.
+func (pg *PreparedGraph) buildPath(names []string, kinds []types.Kind, rows []int32) *types.Path {
+	p := &types.Path{Cols: names, Kinds: kinds}
+	if len(rows) == 0 {
+		return p
+	}
+	p.Rows = make([][]types.Value, len(rows))
+	for i, r := range rows {
+		p.Rows[i] = pg.Edges.Row(int(r))
+	}
+	return p
+}
+
+// Reachability answers plain reachability for one pair of keys over a
+// prepared graph; it is used by the facade's convenience API and the
+// baseline comparisons.
+func (pg *PreparedGraph) Reachability(srcKey, dstKey types.Value) (bool, error) {
+	sc := storage.NewColumn(pg.KeyKind, 1)
+	sc.Append(srcKey)
+	dc := storage.NewColumn(pg.KeyKind, 1)
+	dc.Append(dstKey)
+	srcs := pg.encodeColumn(sc)
+	dsts := pg.encodeColumn(dc)
+	solver := graph.NewSolver(pg.CSR)
+	sol, err := solver.Solve(srcs, dsts, nil)
+	if err != nil {
+		return false, err
+	}
+	return sol.Reached[0], nil
+}

@@ -1,0 +1,294 @@
+// Package engine ties the front-end (lexer, parser, binder), the
+// rewriter, and the executor together, mirroring the compiler →
+// optimizer → physical layer pipeline of §3. It also implements the
+// DDL/DML statements and maintains the graph-index cache of §6.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"graphsql/internal/analyze"
+	"graphsql/internal/core"
+	"graphsql/internal/exec"
+	"graphsql/internal/expr"
+	"graphsql/internal/plan"
+	"graphsql/internal/sql/ast"
+	"graphsql/internal/sql/parser"
+	"graphsql/internal/storage"
+	"graphsql/internal/types"
+)
+
+// Engine executes SQL statements over a catalog.
+type Engine struct {
+	cat *storage.Catalog
+	// graphIndexes caches dynamic graph indexes per edge table; see
+	// BuildGraphIndex. Key: exec.GraphIndexKey.
+	graphIndexes map[string]*core.DynamicGraph
+	// indexTables records, per lower-cased table name, the index keys
+	// built on it, for invalidation on writes.
+	indexTables map[string][]string
+	// Stats accumulates executor instrumentation when non-nil.
+	Stats *exec.Stats
+}
+
+// New returns an engine over a fresh catalog.
+func New() *Engine {
+	return &Engine{
+		cat:          storage.NewCatalog(),
+		graphIndexes: map[string]*core.DynamicGraph{},
+		indexTables:  map[string][]string{},
+	}
+}
+
+// Catalog exposes the underlying catalog.
+func (e *Engine) Catalog() *storage.Catalog { return e.cat }
+
+// Query parses, binds, optimizes and executes one statement, returning
+// its result chunk (nil for statements without results).
+func (e *Engine) Query(sql string, params ...types.Value) (*storage.Chunk, error) {
+	stmt, nparams, err := parser.ParseWithParams(sql)
+	if err != nil {
+		return nil, err
+	}
+	if nparams > len(params) {
+		return nil, fmt.Errorf("statement uses %d parameters but %d argument(s) were supplied", nparams, len(params))
+	}
+	return e.execStmt(stmt, params)
+}
+
+// ExecScript runs a semicolon-separated script, returning the result
+// of the last statement.
+func (e *Engine) ExecScript(sql string, params ...types.Value) (*storage.Chunk, error) {
+	stmts, err := parser.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *storage.Chunk
+	for _, s := range stmts {
+		last, err = e.execStmt(s, params)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// Explain returns the optimized logical plan of a SELECT statement.
+func (e *Engine) Explain(sql string, params ...types.Value) (string, error) {
+	stmt, _, err := parser.ParseWithParams(sql)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := stmt.(*ast.SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("EXPLAIN supports only SELECT statements")
+	}
+	p, err := analyze.BindSelect(e.cat, sel, params)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(plan.Rewrite(p)), nil
+}
+
+func (e *Engine) execStmt(stmt ast.Statement, params []types.Value) (*storage.Chunk, error) {
+	switch t := stmt.(type) {
+	case *ast.SelectStmt:
+		p, err := analyze.BindSelect(e.cat, t, params)
+		if err != nil {
+			return nil, err
+		}
+		p = plan.Rewrite(p)
+		ctx := &exec.Context{
+			Expr:         &expr.Context{Params: params},
+			GraphIndexes: e.graphIndexes,
+			Stats:        e.Stats,
+		}
+		return exec.Execute(p, ctx)
+	case *ast.CreateTableStmt:
+		return nil, e.execCreateTable(t)
+	case *ast.InsertStmt:
+		return nil, e.execInsert(t, params)
+	case *ast.DropTableStmt:
+		e.invalidateIndexes(t.Name)
+		return nil, e.cat.DropTable(t.Name)
+	case *ast.DeleteStmt:
+		return nil, e.execDelete(t, params)
+	}
+	return nil, fmt.Errorf("internal: unknown statement %T", stmt)
+}
+
+func (e *Engine) execCreateTable(t *ast.CreateTableStmt) error {
+	sch := make(storage.Schema, len(t.Columns))
+	for i, c := range t.Columns {
+		k, err := analyze.TypeNameKind(c.TypeName)
+		if err != nil {
+			return fmt.Errorf("column %s: %w", c.Name, err)
+		}
+		sch[i] = storage.ColMeta{Name: c.Name, Kind: k}
+	}
+	_, err := e.cat.CreateTable(t.Name, sch)
+	return err
+}
+
+func (e *Engine) execInsert(t *ast.InsertStmt, params []types.Value) error {
+	table, ok := e.cat.Table(t.Table)
+	if !ok {
+		return fmt.Errorf("table %q does not exist", t.Table)
+	}
+	// Map the targeted columns.
+	colIdx := make([]int, 0, len(table.Schema))
+	if len(t.Columns) == 0 {
+		for i := range table.Schema {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, cn := range t.Columns {
+			idx := table.Schema.ColIndex("", cn)
+			if idx < 0 {
+				return fmt.Errorf("table %s has no column %q", table.Name, cn)
+			}
+			colIdx = append(colIdx, idx)
+		}
+	}
+	// Appended rows are absorbed by dynamic graph indexes at the next
+	// query (DynamicGraph.Refresh); no invalidation needed here.
+	appendRow := func(vals []types.Value) error {
+		if len(vals) != len(colIdx) {
+			return fmt.Errorf("INSERT row has %d values, expected %d", len(vals), len(colIdx))
+		}
+		row := make([]types.Value, len(table.Schema))
+		for i := range row {
+			row[i] = types.NewNull(table.Schema[i].Kind)
+		}
+		for i, v := range vals {
+			target := table.Schema[colIdx[i]].Kind
+			cv, err := expr.CastValue(v, target)
+			if err != nil {
+				return fmt.Errorf("column %s: %w", table.Schema[colIdx[i]].Name, err)
+			}
+			row[colIdx[i]] = cv
+		}
+		return table.AppendRow(row)
+	}
+
+	if t.Select != nil {
+		p, err := analyze.BindSelect(e.cat, t.Select, params)
+		if err != nil {
+			return err
+		}
+		p = plan.Rewrite(p)
+		res, err := exec.Execute(p, &exec.Context{Expr: &expr.Context{Params: params}, GraphIndexes: e.graphIndexes})
+		if err != nil {
+			return err
+		}
+		if res.NumCols() != len(colIdx) {
+			return fmt.Errorf("INSERT SELECT produces %d columns, expected %d", res.NumCols(), len(colIdx))
+		}
+		for i := 0; i < res.NumRows(); i++ {
+			if err := appendRow(res.Row(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	b := analyze.NewBinder(e.cat, params)
+	ectx := &expr.Context{Params: params}
+	for _, rowExprs := range t.Rows {
+		vals := make([]types.Value, len(rowExprs))
+		for i, re := range rowExprs {
+			be, err := b.BindScalar(re)
+			if err != nil {
+				return err
+			}
+			v, err := expr.EvalScalar(be, ectx)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		if err := appendRow(vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) execDelete(t *ast.DeleteStmt, params []types.Value) error {
+	table, ok := e.cat.Table(t.Table)
+	if !ok {
+		return fmt.Errorf("table %q does not exist", t.Table)
+	}
+	defer e.invalidateIndexes(t.Table)
+	if t.Where == nil {
+		// Truncate.
+		for i, m := range table.Schema {
+			table.Cols[i] = storage.NewColumn(m.Kind, 0)
+		}
+		return nil
+	}
+	b := analyze.NewBinder(e.cat, params)
+	pred, err := b.BindOver(t.Where, table.Schema)
+	if err != nil {
+		return err
+	}
+	chunk := table.Chunk()
+	pc, err := pred.Eval(&expr.Context{Params: params}, chunk)
+	if err != nil {
+		return err
+	}
+	var keep []int
+	for i := 0; i < chunk.NumRows(); i++ {
+		if pc.IsNull(i) || pc.Ints[i] == 0 {
+			keep = append(keep, i)
+		}
+	}
+	kept := chunk.Gather(keep)
+	copy(table.Cols, kept.Cols)
+	return nil
+}
+
+// BuildGraphIndex materializes and caches the graph (dictionary + CSR)
+// of an edge table, the graph index the paper proposes as future work
+// (§6). src and dst name the key columns. Subsequent REACHES queries
+// over exactly this table and attribute pair reuse the index instead
+// of rebuilding the graph. The index is *updatable*: rows inserted
+// after the build are absorbed into a delta at the next query, and the
+// snapshot is rebuilt automatically once the delta outgrows it;
+// DELETE and DROP invalidate the index entirely.
+func (e *Engine) BuildGraphIndex(table, src, dst string) error {
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("table %q does not exist", table)
+	}
+	srcIdx := t.Schema.ColIndex("", src)
+	if srcIdx < 0 {
+		return fmt.Errorf("table %s has no column %q", table, src)
+	}
+	dstIdx := t.Schema.ColIndex("", dst)
+	if dstIdx < 0 {
+		return fmt.Errorf("table %s has no column %q", table, dst)
+	}
+	dg, err := core.NewDynamicGraph(t.Chunk(), srcIdx, dstIdx)
+	if err != nil {
+		return err
+	}
+	key := exec.GraphIndexKey(t.Name, srcIdx, dstIdx)
+	e.graphIndexes[key] = dg
+	lower := strings.ToLower(t.Name)
+	e.indexTables[lower] = append(e.indexTables[lower], key)
+	return nil
+}
+
+// DropGraphIndexes removes all cached graph indexes of a table.
+func (e *Engine) DropGraphIndexes(table string) {
+	e.invalidateIndexes(table)
+}
+
+func (e *Engine) invalidateIndexes(table string) {
+	lower := strings.ToLower(table)
+	for _, key := range e.indexTables[lower] {
+		delete(e.graphIndexes, key)
+	}
+	delete(e.indexTables, lower)
+}

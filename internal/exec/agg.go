@@ -1,0 +1,165 @@
+package exec
+
+import (
+	"fmt"
+
+	"graphsql/internal/plan"
+	"graphsql/internal/storage"
+	"graphsql/internal/types"
+)
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	min, max types.Value
+	seen     bool
+	distinct map[string]struct{}
+}
+
+func execAggregate(a *plan.Aggregate, ctx *Context) (*storage.Chunk, error) {
+	in, err := Execute(a.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	n := in.NumRows()
+
+	// Evaluate group-by keys and aggregate arguments column-at-a-time.
+	groupCols := make([]*storage.Column, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		c, err := g.Eval(ctx.Expr, in)
+		if err != nil {
+			return nil, err
+		}
+		groupCols[i] = c
+	}
+	argCols := make([]*storage.Column, len(a.Aggs))
+	for i := range a.Aggs {
+		if a.Aggs[i].Arg == nil {
+			continue
+		}
+		c, err := a.Aggs[i].Arg.Eval(ctx.Expr, in)
+		if err != nil {
+			return nil, err
+		}
+		argCols[i] = c
+	}
+
+	groups := make(map[string]int, 64)
+	var groupRows []int // one representative row per group
+	states := make([][]aggState, 0, 64)
+	var buf []byte
+	for row := 0; row < n; row++ {
+		buf = buf[:0]
+		for _, gc := range groupCols {
+			buf = encodeKey(buf, gc, row)
+		}
+		gid, ok := groups[string(buf)]
+		if !ok {
+			gid = len(groupRows)
+			groups[string(buf)] = gid
+			groupRows = append(groupRows, row)
+			st := make([]aggState, len(a.Aggs))
+			for i := range a.Aggs {
+				if a.Aggs[i].Distinct {
+					st[i].distinct = make(map[string]struct{})
+				}
+			}
+			states = append(states, st)
+		}
+		st := states[gid]
+		for i := range a.Aggs {
+			spec := &a.Aggs[i]
+			if spec.Op == plan.AggCountStar {
+				st[i].count++
+				continue
+			}
+			c := argCols[i]
+			if c.IsNull(row) {
+				continue // aggregates skip NULL inputs
+			}
+			if spec.Distinct {
+				var kb []byte
+				kb = encodeKey(kb, c, row)
+				if _, dup := st[i].distinct[string(kb)]; dup {
+					continue
+				}
+				st[i].distinct[string(kb)] = struct{}{}
+			}
+			v := c.Get(row)
+			st[i].count++
+			switch spec.Op {
+			case plan.AggSum, plan.AggAvg:
+				if c.Kind == types.KindFloat {
+					st[i].sumF += v.F
+				} else {
+					st[i].sumI += v.I
+					st[i].sumF += float64(v.I)
+				}
+			case plan.AggMin:
+				if !st[i].seen || types.Compare(v, st[i].min) < 0 {
+					st[i].min = v
+				}
+			case plan.AggMax:
+				if !st[i].seen || types.Compare(v, st[i].max) > 0 {
+					st[i].max = v
+				}
+			}
+			st[i].seen = true
+		}
+	}
+
+	// A global aggregate (no GROUP BY) over zero rows still yields one
+	// row: COUNT = 0, other aggregates NULL.
+	if len(groupRows) == 0 && len(a.GroupBy) == 0 {
+		groupRows = append(groupRows, -1)
+		states = append(states, make([]aggState, len(a.Aggs)))
+	}
+
+	out := storage.NewChunk(a.Sch)
+	for gid, rep := range groupRows {
+		row := make([]types.Value, 0, len(a.Sch))
+		for _, gc := range groupCols {
+			row = append(row, gc.Get(rep))
+		}
+		for i := range a.Aggs {
+			spec := &a.Aggs[i]
+			st := &states[gid][i]
+			switch spec.Op {
+			case plan.AggCountStar, plan.AggCount:
+				row = append(row, types.NewInt(st.count))
+			case plan.AggSum:
+				if st.count == 0 {
+					row = append(row, types.NewNull(spec.Kind))
+				} else if spec.Kind == types.KindFloat {
+					row = append(row, types.NewFloat(st.sumF))
+				} else {
+					row = append(row, types.NewInt(st.sumI))
+				}
+			case plan.AggAvg:
+				if st.count == 0 {
+					row = append(row, types.NewNull(types.KindFloat))
+				} else {
+					row = append(row, types.NewFloat(st.sumF/float64(st.count)))
+				}
+			case plan.AggMin:
+				if !st.seen {
+					row = append(row, types.NewNull(spec.Kind))
+				} else {
+					row = append(row, st.min)
+				}
+			case plan.AggMax:
+				if !st.seen {
+					row = append(row, types.NewNull(spec.Kind))
+				} else {
+					row = append(row, st.max)
+				}
+			default:
+				return nil, fmt.Errorf("internal: unknown aggregate %v", spec.Op)
+			}
+		}
+		out.AppendRow(row)
+	}
+	return out, nil
+}

@@ -1,0 +1,354 @@
+// Package exec interprets bound logical plans over the columnar
+// storage layer. Every operator fully materializes its result, the
+// MonetDB execution model the paper's prototype builds on (§3.3:
+// "all intermediate results are fully materialized").
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphsql/internal/core"
+	"graphsql/internal/expr"
+	"graphsql/internal/plan"
+	"graphsql/internal/storage"
+	"graphsql/internal/types"
+)
+
+// Context carries per-execution state.
+type Context struct {
+	// Expr holds the host parameter bindings.
+	Expr *expr.Context
+	// GraphIndexes caches dynamic graph indexes keyed by
+	// "table(srcIdx,dstIdx)" (lower-cased); see DB.BuildGraphIndex.
+	GraphIndexes map[string]*core.DynamicGraph
+	// Stats collects optional instrumentation; may be nil.
+	Stats *Stats
+	// shared caches the results of Shared (CTE) subplans within one
+	// execution.
+	shared map[*plan.Shared]*storage.Chunk
+}
+
+// Stats instruments the phases of graph-select execution for the E6
+// phase-breakdown experiment.
+type Stats struct {
+	// GraphBuilds counts CSR constructions performed.
+	GraphBuilds int
+	// GraphBuildVertices and GraphBuildEdges total the sizes built.
+	GraphBuildVertices int
+	GraphBuildEdges    int
+	// IndexHits counts graph-index cache hits.
+	IndexHits int
+	// IndexRefreshes counts delta absorptions; IndexRebuilds counts
+	// full snapshot rebuilds triggered by delta growth.
+	IndexRefreshes int
+	IndexRebuilds  int
+}
+
+// GraphIndexKey builds the cache key for a prepared graph on a base
+// table.
+func GraphIndexKey(table string, srcIdx, dstIdx int) string {
+	return fmt.Sprintf("%s(%d,%d)", strings.ToLower(table), srcIdx, dstIdx)
+}
+
+// Execute runs a plan and returns the materialized result.
+func Execute(n plan.Node, ctx *Context) (*storage.Chunk, error) {
+	if ctx == nil {
+		ctx = &Context{}
+	}
+	if ctx.Expr == nil {
+		ctx.Expr = &expr.Context{}
+	}
+	switch t := n.(type) {
+	case *plan.Scan:
+		// Zero-copy view over the base table with the alias-qualified
+		// schema.
+		return &storage.Chunk{Schema: t.Sch, Cols: t.Table.Cols}, nil
+	case *plan.ChunkScan:
+		return t.Chunk, nil
+	case *plan.Rename:
+		in, err := Execute(t.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &storage.Chunk{Schema: t.Sch, Cols: in.Cols}, nil
+	case *plan.Shared:
+		if c, ok := ctx.shared[t]; ok {
+			return c, nil
+		}
+		c, err := Execute(t.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.shared == nil {
+			ctx.shared = make(map[*plan.Shared]*storage.Chunk)
+		}
+		ctx.shared[t] = c
+		return c, nil
+	case *plan.Filter:
+		return execFilter(t, ctx)
+	case *plan.Project:
+		return execProject(t, ctx)
+	case *plan.Join:
+		return execJoin(t, ctx)
+	case *plan.GraphMatch:
+		return execGraphMatch(t, ctx)
+	case *plan.Aggregate:
+		return execAggregate(t, ctx)
+	case *plan.Sort:
+		return execSort(t, ctx)
+	case *plan.Limit:
+		return execLimit(t, ctx)
+	case *plan.Distinct:
+		return execDistinct(t, ctx)
+	case *plan.Unnest:
+		return execUnnest(t, ctx)
+	case *plan.SetOp:
+		return execSetOp(t, ctx)
+	}
+	return nil, fmt.Errorf("internal: unknown plan node %T", n)
+}
+
+func execFilter(f *plan.Filter, ctx *Context) (*storage.Chunk, error) {
+	in, err := Execute(f.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := f.Pred.Eval(ctx.Expr, in)
+	if err != nil {
+		return nil, err
+	}
+	mask := make([]bool, in.NumRows())
+	for i := range mask {
+		mask[i] = !pc.IsNull(i) && pc.Ints[i] != 0
+	}
+	return in.FilterByMask(mask), nil
+}
+
+func execProject(p *plan.Project, ctx *Context) (*storage.Chunk, error) {
+	in, err := Execute(p.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &storage.Chunk{Schema: p.Sch, Cols: make([]*storage.Column, len(p.Exprs))}
+	for i, e := range p.Exprs {
+		c, err := e.Eval(ctx.Expr, in)
+		if err != nil {
+			return nil, err
+		}
+		out.Cols[i] = c
+	}
+	return out, nil
+}
+
+func execSort(s *plan.Sort, ctx *Context) (*storage.Chunk, error) {
+	in, err := Execute(s.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	n := in.NumRows()
+	keys := make([]*storage.Column, len(s.Keys))
+	for i, k := range s.Keys {
+		c, err := k.Expr.Eval(ctx.Expr, in)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = c
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra, rb := idx[a], idx[b]
+		for ki, k := range s.Keys {
+			c := keys[ki]
+			na, nb := c.IsNull(ra), c.IsNull(rb)
+			if na || nb {
+				if na && nb {
+					continue
+				}
+				// Default: NULLS LAST ascending, NULLS FIRST when
+				// descending (PostgreSQL convention).
+				nullsFirst := k.Desc
+				if k.NullsFirst == 1 {
+					nullsFirst = true
+				} else if k.NullsFirst == 0 {
+					nullsFirst = false
+				}
+				if na {
+					return nullsFirst
+				}
+				return !nullsFirst
+			}
+			cmp := types.Compare(c.Get(ra), c.Get(rb))
+			if cmp == 0 {
+				continue
+			}
+			if k.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return in.Gather(idx), nil
+}
+
+func execLimit(l *plan.Limit, ctx *Context) (*storage.Chunk, error) {
+	in, err := Execute(l.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	n := in.NumRows()
+	skip := 0
+	if l.Skip != nil {
+		v, err := expr.EvalScalar(l.Skip, ctx.Expr)
+		if err != nil {
+			return nil, err
+		}
+		if v.Null || v.K != types.KindInt || v.I < 0 {
+			return nil, fmt.Errorf("OFFSET must be a non-negative integer")
+		}
+		skip = int(v.I)
+	}
+	count := n
+	if l.Count != nil {
+		v, err := expr.EvalScalar(l.Count, ctx.Expr)
+		if err != nil {
+			return nil, err
+		}
+		if v.Null || v.K != types.KindInt || v.I < 0 {
+			return nil, fmt.Errorf("LIMIT must be a non-negative integer")
+		}
+		count = int(v.I)
+	}
+	lo := skip
+	if lo > n {
+		lo = n
+	}
+	hi := lo + count
+	if hi > n {
+		hi = n
+	}
+	rows := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		rows = append(rows, i)
+	}
+	return in.Gather(rows), nil
+}
+
+func execDistinct(d *plan.Distinct, ctx *Context) (*storage.Chunk, error) {
+	in, err := Execute(d.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{}, in.NumRows())
+	var keep []int
+	var buf []byte
+	for i := 0; i < in.NumRows(); i++ {
+		buf = buf[:0]
+		for _, c := range in.Cols {
+			buf = encodeKey(buf, c, i)
+		}
+		k := string(buf)
+		if _, ok := seen[k]; !ok {
+			seen[k] = struct{}{}
+			keep = append(keep, i)
+		}
+	}
+	return in.Gather(keep), nil
+}
+
+func execGraphMatch(g *plan.GraphMatch, ctx *Context) (*storage.Chunk, error) {
+	in, err := Execute(g.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	xc, err := g.X.Eval(ctx.Expr, in)
+	if err != nil {
+		return nil, err
+	}
+	yc, err := g.Y.Eval(ctx.Expr, in)
+	if err != nil {
+		return nil, err
+	}
+	// A cached dynamic index serves scans of indexed base tables;
+	// rows inserted since the snapshot are absorbed into its delta
+	// (the paper's §6 updatable graph index).
+	if scan, ok := g.Edge.(*plan.Scan); ok && ctx.GraphIndexes != nil {
+		if dg, ok := ctx.GraphIndexes[GraphIndexKey(scan.Table.Name, g.SrcIdx, g.DstIdx)]; ok {
+			before := dg.AppliedRows()
+			rebuilt, err := dg.Refresh(scan.Table.Chunk())
+			if err != nil {
+				return nil, err
+			}
+			if ctx.Stats != nil {
+				ctx.Stats.IndexHits++
+				if rebuilt {
+					ctx.Stats.IndexRebuilds++
+				} else if dg.AppliedRows() != before {
+					ctx.Stats.IndexRefreshes++
+				}
+			}
+			return dg.Match(g, in, xc, yc, ctx.Expr)
+		}
+	}
+	edges, err := Execute(g.Edge, ctx)
+	if err != nil {
+		return nil, err
+	}
+	pg, err := core.BuildGraph(edges, g.SrcIdx, g.DstIdx)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Stats != nil {
+		ctx.Stats.GraphBuilds++
+		ctx.Stats.GraphBuildVertices += pg.NumVertices()
+		ctx.Stats.GraphBuildEdges += pg.NumEdges()
+	}
+	return pg.Match(g, in, xc, yc, ctx.Expr)
+}
+
+// encodeKey appends a type-tagged, self-delimiting encoding of column
+// entry i to buf; used for hash keys in joins, grouping, distinct and
+// set operations.
+func encodeKey(buf []byte, c *storage.Column, i int) []byte {
+	if c.IsNull(i) {
+		return append(buf, 0xFF)
+	}
+	switch c.Kind {
+	case types.KindFloat:
+		buf = append(buf, 1)
+		bits := uint64(floatBits(c.Floats[i]))
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(bits>>s))
+		}
+	case types.KindString:
+		buf = append(buf, 2)
+		s := c.Strs[i]
+		n := len(s)
+		buf = append(buf, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+		buf = append(buf, s...)
+	case types.KindPath:
+		buf = append(buf, 3)
+		buf = append(buf, c.Get(i).String()...)
+		buf = append(buf, 0)
+	default:
+		buf = append(buf, 4)
+		v := uint64(c.Ints[i])
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(v>>s))
+		}
+	}
+	return buf
+}
+
+func floatBits(f float64) uint64 {
+	// Normalize -0 and NaN payloads for hashing.
+	if f == 0 {
+		f = 0
+	}
+	return mathFloat64bits(f)
+}

@@ -1,0 +1,284 @@
+package exec
+
+import (
+	"math"
+
+	"graphsql/internal/expr"
+	"graphsql/internal/plan"
+	"graphsql/internal/storage"
+)
+
+func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// equiKey is one equality pair extracted from a join condition:
+// leftCol = rightCol (indices local to each side).
+type equiKey struct{ l, r int }
+
+// extractEquiKeys splits a join condition into hashable equality pairs
+// and a residual predicate (still over the concatenated schema).
+func extractEquiKeys(on expr.Expr, nLeft int) ([]equiKey, expr.Expr) {
+	var keys []equiKey
+	var residual []expr.Expr
+	for _, c := range expr.SplitConjuncts(on, nil) {
+		if cmp, ok := c.(*expr.Cmp); ok && cmp.Op == expr.CmpEq {
+			lref, lok := cmp.L.(*expr.ColRef)
+			rref, rok := cmp.R.(*expr.ColRef)
+			if lok && rok {
+				switch {
+				case lref.Idx < nLeft && rref.Idx >= nLeft:
+					keys = append(keys, equiKey{lref.Idx, rref.Idx - nLeft})
+					continue
+				case rref.Idx < nLeft && lref.Idx >= nLeft:
+					keys = append(keys, equiKey{rref.Idx, lref.Idx - nLeft})
+					continue
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	return keys, expr.AndAll(residual)
+}
+
+func execJoin(j *plan.Join, ctx *Context) (*storage.Chunk, error) {
+	left, err := Execute(j.Left, ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Execute(j.Right, ctx)
+	if err != nil {
+		return nil, err
+	}
+	switch j.Type {
+	case plan.JoinCross:
+		return crossJoin(j, left, right), nil
+	case plan.JoinSemi, plan.JoinAnti:
+		return semiAntiJoin(j, left, right, ctx)
+	default:
+		return condJoin(j, left, right, ctx)
+	}
+}
+
+// semiAntiJoin filters the left side by match existence on the right.
+// A nil condition tests whether the right side is non-empty (EXISTS).
+func semiAntiJoin(j *plan.Join, left, right *storage.Chunk, ctx *Context) (*storage.Chunk, error) {
+	nl := left.NumRows()
+	matched := make([]bool, nl)
+	if j.On == nil {
+		if right.NumRows() > 0 {
+			for i := range matched {
+				matched[i] = true
+			}
+		}
+	} else {
+		li, _, err := matchPairs(j.On, left, right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range li {
+			matched[a] = true
+		}
+	}
+	keepMatched := j.Type == plan.JoinSemi
+	var keep []int
+	for a := 0; a < nl; a++ {
+		if matched[a] == keepMatched {
+			keep = append(keep, a)
+		}
+	}
+	out := left.Gather(keep)
+	out.Schema = j.Schema()
+	return out, nil
+}
+
+// matchPairs computes the matching (left, right) row pairs of a join
+// condition, hash-based when equality pairs exist.
+func matchPairs(on expr.Expr, left, right *storage.Chunk, ctx *Context) ([]int, []int, error) {
+	nLeft := len(left.Schema)
+	keys, residual := extractEquiKeys(on, nLeft)
+	var li, ri []int
+	nl, nr := left.NumRows(), right.NumRows()
+	if len(keys) > 0 {
+		build := make(map[string][]int, nr)
+		var buf []byte
+		for b := 0; b < nr; b++ {
+			buf = buf[:0]
+			null := false
+			for _, k := range keys {
+				if right.Cols[k.r].IsNull(b) {
+					null = true
+					break
+				}
+				buf = encodeKey(buf, right.Cols[k.r], b)
+			}
+			if null {
+				continue
+			}
+			build[string(buf)] = append(build[string(buf)], b)
+		}
+		for a := 0; a < nl; a++ {
+			buf = buf[:0]
+			null := false
+			for _, k := range keys {
+				if left.Cols[k.l].IsNull(a) {
+					null = true
+					break
+				}
+				buf = encodeKey(buf, left.Cols[k.l], a)
+			}
+			if null {
+				continue
+			}
+			for _, b := range build[string(buf)] {
+				li = append(li, a)
+				ri = append(ri, b)
+			}
+		}
+	} else {
+		for a := 0; a < nl; a++ {
+			for b := 0; b < nr; b++ {
+				li = append(li, a)
+				ri = append(ri, b)
+			}
+		}
+	}
+	if residual != nil && len(li) > 0 {
+		cand := pairChunk(left, right, li, ri)
+		pc, err := residual.Eval(ctx.Expr, cand)
+		if err != nil {
+			return nil, nil, err
+		}
+		var fli, fri []int
+		for i := range li {
+			if !pc.IsNull(i) && pc.Ints[i] != 0 {
+				fli = append(fli, li[i])
+				fri = append(fri, ri[i])
+			}
+		}
+		li, ri = fli, fri
+	}
+	return li, ri, nil
+}
+
+// pairChunk materializes candidate pairs over the concatenated schema
+// for residual evaluation.
+func pairChunk(left, right *storage.Chunk, li, ri []int) *storage.Chunk {
+	out := &storage.Chunk{}
+	out.Schema = append(append(storage.Schema{}, left.Schema...), right.Schema...)
+	for _, c := range left.Cols {
+		out.Cols = append(out.Cols, c.Gather(li))
+	}
+	for _, c := range right.Cols {
+		out.Cols = append(out.Cols, c.Gather(ri))
+	}
+	return out
+}
+
+// joinOutput materializes the (li, ri) pairs; ri == -1 null-extends
+// the right side (left outer join).
+func joinOutput(j *plan.Join, left, right *storage.Chunk, li, ri []int) *storage.Chunk {
+	out := &storage.Chunk{Schema: j.Schema()}
+	for _, c := range left.Cols {
+		out.Cols = append(out.Cols, c.Gather(li))
+	}
+	for cIdx, c := range right.Cols {
+		oc := storage.NewColumn(right.Schema[cIdx].Kind, len(ri))
+		for _, r := range ri {
+			if r < 0 {
+				oc.AppendNull()
+			} else {
+				oc.Append(c.Get(r))
+			}
+		}
+		out.Cols = append(out.Cols, oc)
+	}
+	return out
+}
+
+func crossJoin(j *plan.Join, left, right *storage.Chunk) *storage.Chunk {
+	nl, nr := left.NumRows(), right.NumRows()
+	li := make([]int, 0, nl*nr)
+	ri := make([]int, 0, nl*nr)
+	for a := 0; a < nl; a++ {
+		for b := 0; b < nr; b++ {
+			li = append(li, a)
+			ri = append(ri, b)
+		}
+	}
+	return joinOutput(j, left, right, li, ri)
+}
+
+// condJoin implements inner and left outer joins: hash-based when the
+// condition contains equality pairs, nested-loop otherwise.
+func condJoin(j *plan.Join, left, right *storage.Chunk, ctx *Context) (*storage.Chunk, error) {
+	li, ri, err := matchPairs(j.On, left, right, ctx)
+	if err != nil {
+		return nil, err
+	}
+	nl := left.NumRows()
+
+	if j.Type == plan.JoinLeft {
+		matched := make([]bool, nl)
+		for _, a := range li {
+			matched[a] = true
+		}
+		for a := 0; a < nl; a++ {
+			if !matched[a] {
+				li = append(li, a)
+				ri = append(ri, -1)
+			}
+		}
+		// Keep output deterministic: order by left row, then right.
+		li, ri = sortPairs(li, ri)
+	}
+	return joinOutput(j, left, right, li, ri), nil
+}
+
+// sortPairs orders join output pairs for stable results.
+func sortPairs(li, ri []int) ([]int, []int) {
+	type pair struct{ a, b int }
+	ps := make([]pair, len(li))
+	for i := range li {
+		ps[i] = pair{li[i], ri[i]}
+	}
+	// insertion-friendly stable sort
+	sortSlice(ps, func(x, y pair) bool {
+		if x.a != y.a {
+			return x.a < y.a
+		}
+		return x.b < y.b
+	})
+	for i, p := range ps {
+		li[i], ri[i] = p.a, p.b
+	}
+	return li, ri
+}
+
+// sortSlice is a tiny generic stable merge sort to avoid pulling
+// reflection-based sorting into the hot path.
+func sortSlice[T any](s []T, less func(a, b T) bool) {
+	if len(s) < 2 {
+		return
+	}
+	mid := len(s) / 2
+	leftHalf := append([]T(nil), s[:mid]...)
+	rightHalf := append([]T(nil), s[mid:]...)
+	sortSlice(leftHalf, less)
+	sortSlice(rightHalf, less)
+	i, jj := 0, 0
+	for k := range s {
+		switch {
+		case i >= len(leftHalf):
+			s[k] = rightHalf[jj]
+			jj++
+		case jj >= len(rightHalf):
+			s[k] = leftHalf[i]
+			i++
+		case less(rightHalf[jj], leftHalf[i]):
+			s[k] = rightHalf[jj]
+			jj++
+		default:
+			s[k] = leftHalf[i]
+			i++
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"fmt"
+
+	"graphsql/internal/plan"
+	"graphsql/internal/storage"
+)
+
+func execSetOp(s *plan.SetOp, ctx *Context) (*storage.Chunk, error) {
+	left, err := Execute(s.Left, ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Execute(s.Right, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(left.Cols) != len(right.Cols) {
+		return nil, fmt.Errorf("%s: operands have %d and %d columns", s.Op, len(left.Cols), len(right.Cols))
+	}
+	rowKey := func(c *storage.Chunk, i int, buf []byte) []byte {
+		buf = buf[:0]
+		for _, col := range c.Cols {
+			buf = encodeKey(buf, col, i)
+		}
+		return buf
+	}
+	var buf []byte
+	switch s.Op {
+	case "UNION":
+		out := storage.NewChunk(left.Schema)
+		seen := make(map[string]struct{})
+		appendFrom := func(c *storage.Chunk) {
+			for i := 0; i < c.NumRows(); i++ {
+				buf = rowKey(c, i, buf)
+				if !s.All {
+					if _, dup := seen[string(buf)]; dup {
+						continue
+					}
+					seen[string(buf)] = struct{}{}
+				}
+				out.AppendRow(c.Row(i))
+			}
+		}
+		appendFrom(left)
+		appendFrom(right)
+		return out, nil
+	case "EXCEPT":
+		// Multiset semantics for ALL, set semantics otherwise.
+		rightCount := make(map[string]int)
+		for i := 0; i < right.NumRows(); i++ {
+			buf = rowKey(right, i, buf)
+			rightCount[string(buf)]++
+		}
+		out := storage.NewChunk(left.Schema)
+		emitted := make(map[string]struct{})
+		for i := 0; i < left.NumRows(); i++ {
+			buf = rowKey(left, i, buf)
+			k := string(buf)
+			if s.All {
+				if rightCount[k] > 0 {
+					rightCount[k]--
+					continue
+				}
+				out.AppendRow(left.Row(i))
+			} else {
+				if rightCount[k] > 0 {
+					continue
+				}
+				if _, dup := emitted[k]; dup {
+					continue
+				}
+				emitted[k] = struct{}{}
+				out.AppendRow(left.Row(i))
+			}
+		}
+		return out, nil
+	case "INTERSECT":
+		rightCount := make(map[string]int)
+		for i := 0; i < right.NumRows(); i++ {
+			buf = rowKey(right, i, buf)
+			rightCount[string(buf)]++
+		}
+		out := storage.NewChunk(left.Schema)
+		emitted := make(map[string]struct{})
+		for i := 0; i < left.NumRows(); i++ {
+			buf = rowKey(left, i, buf)
+			k := string(buf)
+			if rightCount[k] <= 0 {
+				continue
+			}
+			if s.All {
+				rightCount[k]--
+				out.AppendRow(left.Row(i))
+			} else {
+				if _, dup := emitted[k]; dup {
+					continue
+				}
+				emitted[k] = struct{}{}
+				out.AppendRow(left.Row(i))
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("internal: unknown set operation %s", s.Op)
+}

@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"graphsql/internal/plan"
+	"graphsql/internal/storage"
+	"graphsql/internal/types"
+)
+
+// execUnnest expands a nested-table column into rows (§2). The
+// standard inner form drops input rows whose path is NULL or empty;
+// the outer form (LEFT JOIN UNNEST ... ON TRUE) keeps them with
+// null-extended path columns, the behaviour the paper describes for
+// preserving "the empty collection".
+func execUnnest(u *plan.Unnest, ctx *Context) (*storage.Chunk, error) {
+	in, err := Execute(u.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := u.PathExpr.Eval(ctx.Expr, in)
+	if err != nil {
+		return nil, err
+	}
+	nIn := in.NumRows()
+	nPathCols := len(u.PathSchema)
+
+	out := storage.NewChunk(u.Sch)
+	inWidth := len(in.Cols)
+	appendRow := func(row int, edge []types.Value, ord int64) {
+		for c := 0; c < inWidth; c++ {
+			out.Cols[c].Append(in.Cols[c].Get(row))
+		}
+		if edge == nil {
+			for c := 0; c < nPathCols; c++ {
+				out.Cols[inWidth+c].AppendNull()
+			}
+			if u.Ordinality {
+				out.Cols[inWidth+nPathCols].AppendNull()
+			}
+			return
+		}
+		for c := 0; c < nPathCols; c++ {
+			out.Cols[inWidth+c].Append(edge[c])
+		}
+		if u.Ordinality {
+			out.Cols[inWidth+nPathCols].AppendInt(ord)
+		}
+	}
+
+	for row := 0; row < nIn; row++ {
+		if pc.IsNull(row) {
+			if u.Outer {
+				appendRow(row, nil, 0)
+			}
+			continue
+		}
+		p := pc.Paths[row]
+		if p.Len() == 0 {
+			if u.Outer {
+				appendRow(row, nil, 0)
+			}
+			continue
+		}
+		for e, edge := range p.Rows {
+			appendRow(row, edge, int64(e+1))
+		}
+	}
+	return out, nil
+}

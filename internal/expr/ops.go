@@ -1,0 +1,425 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"graphsql/internal/storage"
+	"graphsql/internal/types"
+)
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+func (op ArithOp) String() string {
+	return [...]string{"+", "-", "*", "/", "%"}[op]
+}
+
+// Arith is a binary arithmetic expression over numeric operands, both
+// already promoted to the common kind K by the binder.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+	K    types.Kind
+}
+
+// Kind implements Expr.
+func (a *Arith) Kind() types.Kind { return a.K }
+
+func (a *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+
+// Eval implements Expr with specialized int/float loops.
+func (a *Arith) Eval(ctx *Context, in *storage.Chunk) (*storage.Column, error) {
+	lc, err := a.L.Eval(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := a.R.Eval(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	n := lc.Len()
+	out := storage.NewColumn(a.K, n)
+	if a.K == types.KindInt {
+		for i := 0; i < n; i++ {
+			if lc.IsNull(i) || rc.IsNull(i) {
+				out.AppendNull()
+				continue
+			}
+			x, y := lc.Ints[i], rc.Ints[i]
+			var v int64
+			switch a.Op {
+			case OpAdd:
+				v = x + y
+			case OpSub:
+				v = x - y
+			case OpMul:
+				v = x * y
+			case OpDiv:
+				if y == 0 {
+					return nil, fmt.Errorf("division by zero")
+				}
+				v = x / y
+			case OpMod:
+				if y == 0 {
+					return nil, fmt.Errorf("modulo by zero")
+				}
+				v = x % y
+			}
+			out.AppendInt(v)
+		}
+		return out, nil
+	}
+	// Float path; operands may still be int-backed (promotion).
+	lf := asFloats(lc)
+	rf := asFloats(rc)
+	for i := 0; i < n; i++ {
+		if lc.IsNull(i) || rc.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		x, y := lf(i), rf(i)
+		var v float64
+		switch a.Op {
+		case OpAdd:
+			v = x + y
+		case OpSub:
+			v = x - y
+		case OpMul:
+			v = x * y
+		case OpDiv:
+			if y == 0 {
+				return nil, fmt.Errorf("division by zero")
+			}
+			v = x / y
+		case OpMod:
+			return nil, fmt.Errorf("%% requires integer operands")
+		}
+		out.AppendFloat(v)
+	}
+	return out, nil
+}
+
+// asFloats returns an accessor that widens a numeric column to float.
+func asFloats(c *storage.Column) func(int) float64 {
+	if c.Kind == types.KindFloat {
+		return func(i int) float64 { return c.Floats[i] }
+	}
+	return func(i int) float64 { return float64(c.Ints[i]) }
+}
+
+// Neg is unary minus.
+type Neg struct {
+	X Expr
+	K types.Kind
+}
+
+// Kind implements Expr.
+func (u *Neg) Kind() types.Kind { return u.K }
+
+func (u *Neg) String() string { return fmt.Sprintf("(-%s)", u.X) }
+
+// Eval implements Expr.
+func (u *Neg) Eval(ctx *Context, in *storage.Chunk) (*storage.Column, error) {
+	xc, err := u.X.Eval(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	n := xc.Len()
+	out := storage.NewColumn(u.K, n)
+	for i := 0; i < n; i++ {
+		if xc.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		if u.K == types.KindFloat {
+			out.AppendFloat(-xc.Floats[i])
+		} else {
+			out.AppendInt(-xc.Ints[i])
+		}
+	}
+	return out, nil
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+func (op CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[op]
+}
+
+// CmpOpFromString maps the SQL token to the operator.
+func CmpOpFromString(s string) (CmpOp, bool) {
+	switch s {
+	case "=":
+		return CmpEq, true
+	case "<>":
+		return CmpNe, true
+	case "<":
+		return CmpLt, true
+	case "<=":
+		return CmpLe, true
+	case ">":
+		return CmpGt, true
+	case ">=":
+		return CmpGe, true
+	}
+	return 0, false
+}
+
+func cmpHolds(op CmpOp, c int) bool {
+	switch op {
+	case CmpEq:
+		return c == 0
+	case CmpNe:
+		return c != 0
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// Cmp compares two operands of a common comparable kind; NULL operands
+// yield NULL (three-valued logic).
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Kind implements Expr.
+func (c *Cmp) Kind() types.Kind { return types.KindBool }
+
+func (c *Cmp) String() string { return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R) }
+
+// Eval implements Expr.
+func (c *Cmp) Eval(ctx *Context, in *storage.Chunk) (*storage.Column, error) {
+	lc, err := c.L.Eval(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := c.R.Eval(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	n := lc.Len()
+	out := storage.NewColumn(types.KindBool, n)
+	// Fast paths for matching primitive kinds without nulls.
+	if lc.Nulls == nil && rc.Nulls == nil {
+		switch {
+		case lc.Kind != types.KindFloat && rc.Kind != types.KindFloat &&
+			lc.Kind != types.KindString && rc.Kind != types.KindString &&
+			lc.Kind != types.KindPath && rc.Kind != types.KindPath:
+			for i := 0; i < n; i++ {
+				out.AppendInt(boolToInt(cmpHolds(c.Op, cmpInt(lc.Ints[i], rc.Ints[i]))))
+			}
+			return out, nil
+		case lc.Kind == types.KindString && rc.Kind == types.KindString:
+			for i := 0; i < n; i++ {
+				out.AppendInt(boolToInt(cmpHolds(c.Op, strings.Compare(lc.Strs[i], rc.Strs[i]))))
+			}
+			return out, nil
+		}
+	}
+	for i := 0; i < n; i++ {
+		lv, rv := lc.Get(i), rc.Get(i)
+		if lv.Null || rv.Null {
+			out.AppendNull()
+			continue
+		}
+		out.AppendInt(boolToInt(cmpHolds(c.Op, types.Compare(lv, rv))))
+	}
+	return out, nil
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Logic is AND/OR under SQL three-valued logic.
+type Logic struct {
+	And  bool // true = AND, false = OR
+	L, R Expr
+}
+
+// Kind implements Expr.
+func (l *Logic) Kind() types.Kind { return types.KindBool }
+
+func (l *Logic) String() string {
+	op := "OR"
+	if l.And {
+		op = "AND"
+	}
+	return fmt.Sprintf("(%s %s %s)", l.L, op, l.R)
+}
+
+// Eval implements Expr.
+func (l *Logic) Eval(ctx *Context, in *storage.Chunk) (*storage.Column, error) {
+	lc, err := l.L.Eval(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := l.R.Eval(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	n := lc.Len()
+	out := storage.NewColumn(types.KindBool, n)
+	for i := 0; i < n; i++ {
+		ln, rn := lc.IsNull(i), rc.IsNull(i)
+		var lv, rv bool
+		if !ln {
+			lv = lc.Ints[i] != 0
+		}
+		if !rn {
+			rv = rc.Ints[i] != 0
+		}
+		if l.And {
+			switch {
+			case !ln && !lv, !rn && !rv:
+				out.AppendInt(0)
+			case ln || rn:
+				out.AppendNull()
+			default:
+				out.AppendInt(1)
+			}
+		} else {
+			switch {
+			case !ln && lv, !rn && rv:
+				out.AppendInt(1)
+			case ln || rn:
+				out.AppendNull()
+			default:
+				out.AppendInt(0)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Not is logical negation (NULL stays NULL).
+type Not struct{ X Expr }
+
+// Kind implements Expr.
+func (u *Not) Kind() types.Kind { return types.KindBool }
+
+func (u *Not) String() string { return fmt.Sprintf("(NOT %s)", u.X) }
+
+// Eval implements Expr.
+func (u *Not) Eval(ctx *Context, in *storage.Chunk) (*storage.Column, error) {
+	xc, err := u.X.Eval(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	n := xc.Len()
+	out := storage.NewColumn(types.KindBool, n)
+	for i := 0; i < n; i++ {
+		if xc.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		out.AppendInt(boolToInt(xc.Ints[i] == 0))
+	}
+	return out, nil
+}
+
+// Concat is the || string concatenation operator; non-string operands
+// were wrapped in casts by the binder.
+type Concat struct{ L, R Expr }
+
+// Kind implements Expr.
+func (c *Concat) Kind() types.Kind { return types.KindString }
+
+func (c *Concat) String() string { return fmt.Sprintf("(%s || %s)", c.L, c.R) }
+
+// Eval implements Expr.
+func (c *Concat) Eval(ctx *Context, in *storage.Chunk) (*storage.Column, error) {
+	lc, err := c.L.Eval(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := c.R.Eval(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	n := lc.Len()
+	out := storage.NewColumn(types.KindString, n)
+	for i := 0; i < n; i++ {
+		if lc.IsNull(i) || rc.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		out.AppendString(lc.Strs[i] + rc.Strs[i])
+	}
+	return out, nil
+}
+
+// IsNull is X IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// Kind implements Expr.
+func (e *IsNull) Kind() types.Kind { return types.KindBool }
+
+func (e *IsNull) String() string {
+	if e.Not {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.X)
+}
+
+// Eval implements Expr.
+func (e *IsNull) Eval(ctx *Context, in *storage.Chunk) (*storage.Column, error) {
+	xc, err := e.X.Eval(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	n := xc.Len()
+	out := storage.NewColumn(types.KindBool, n)
+	for i := 0; i < n; i++ {
+		isn := xc.IsNull(i)
+		out.AppendInt(boolToInt(isn != e.Not))
+	}
+	return out, nil
+}

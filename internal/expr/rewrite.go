@@ -1,0 +1,155 @@
+package expr
+
+// Refs appends the column indices referenced by e to out and returns
+// the result. Duplicates are not removed.
+func Refs(e Expr, out []int) []int {
+	switch t := e.(type) {
+	case *ColRef:
+		out = append(out, t.Idx)
+	case *Const, *Param:
+	case *Arith:
+		out = Refs(t.L, out)
+		out = Refs(t.R, out)
+	case *Neg:
+		out = Refs(t.X, out)
+	case *Cmp:
+		out = Refs(t.L, out)
+		out = Refs(t.R, out)
+	case *Logic:
+		out = Refs(t.L, out)
+		out = Refs(t.R, out)
+	case *Not:
+		out = Refs(t.X, out)
+	case *Concat:
+		out = Refs(t.L, out)
+		out = Refs(t.R, out)
+	case *IsNull:
+		out = Refs(t.X, out)
+	case *Cast:
+		out = Refs(t.X, out)
+	case *Case:
+		for _, w := range t.Whens {
+			out = Refs(w, out)
+		}
+		for _, th := range t.Thens {
+			out = Refs(th, out)
+		}
+		if t.Else != nil {
+			out = Refs(t.Else, out)
+		}
+	case *Like:
+		out = Refs(t.X, out)
+		out = Refs(t.Pattern, out)
+	case *Func:
+		for _, a := range t.Args {
+			out = Refs(a, out)
+		}
+	case *InList:
+		out = Refs(t.X, out)
+		for _, a := range t.List {
+			out = Refs(a, out)
+		}
+	}
+	return out
+}
+
+// MapRefs returns a copy of e with every column reference index passed
+// through f. It is used by the predicate-pushdown rewriter to re-base
+// expressions onto a join side.
+func MapRefs(e Expr, f func(int) int) Expr {
+	switch t := e.(type) {
+	case *ColRef:
+		c := *t
+		c.Idx = f(t.Idx)
+		return &c
+	case *Const, *Param:
+		return e
+	case *Arith:
+		c := *t
+		c.L, c.R = MapRefs(t.L, f), MapRefs(t.R, f)
+		return &c
+	case *Neg:
+		c := *t
+		c.X = MapRefs(t.X, f)
+		return &c
+	case *Cmp:
+		c := *t
+		c.L, c.R = MapRefs(t.L, f), MapRefs(t.R, f)
+		return &c
+	case *Logic:
+		c := *t
+		c.L, c.R = MapRefs(t.L, f), MapRefs(t.R, f)
+		return &c
+	case *Not:
+		c := *t
+		c.X = MapRefs(t.X, f)
+		return &c
+	case *Concat:
+		c := *t
+		c.L, c.R = MapRefs(t.L, f), MapRefs(t.R, f)
+		return &c
+	case *IsNull:
+		c := *t
+		c.X = MapRefs(t.X, f)
+		return &c
+	case *Cast:
+		c := *t
+		c.X = MapRefs(t.X, f)
+		return &c
+	case *Case:
+		c := *t
+		c.Whens = make([]Expr, len(t.Whens))
+		c.Thens = make([]Expr, len(t.Thens))
+		for i := range t.Whens {
+			c.Whens[i] = MapRefs(t.Whens[i], f)
+			c.Thens[i] = MapRefs(t.Thens[i], f)
+		}
+		if t.Else != nil {
+			c.Else = MapRefs(t.Else, f)
+		}
+		return &c
+	case *Like:
+		c := *t
+		c.X, c.Pattern = MapRefs(t.X, f), MapRefs(t.Pattern, f)
+		return &c
+	case *Func:
+		c := *t
+		c.Args = make([]Expr, len(t.Args))
+		for i := range t.Args {
+			c.Args[i] = MapRefs(t.Args[i], f)
+		}
+		return &c
+	case *InList:
+		c := *t
+		c.X = MapRefs(t.X, f)
+		c.List = make([]Expr, len(t.List))
+		for i := range t.List {
+			c.List[i] = MapRefs(t.List[i], f)
+		}
+		return &c
+	}
+	return e
+}
+
+// SplitConjuncts flattens a tree of ANDs into its conjunct list.
+func SplitConjuncts(e Expr, out []Expr) []Expr {
+	if l, ok := e.(*Logic); ok && l.And {
+		out = SplitConjuncts(l.L, out)
+		return SplitConjuncts(l.R, out)
+	}
+	return append(out, e)
+}
+
+// AndAll combines conjuncts back into a single predicate; it returns
+// nil for an empty list.
+func AndAll(conjuncts []Expr) Expr {
+	var out Expr
+	for _, c := range conjuncts {
+		if out == nil {
+			out = c
+		} else {
+			out = &Logic{And: true, L: out, R: c}
+		}
+	}
+	return out
+}

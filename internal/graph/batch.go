@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spec describes one CHEAPEST SUM evaluation over a graph: the edge
+// weights (in edge-table row order) and whether the caller needs the
+// path itself in addition to its cost. Exactly one of the weight
+// fields is set; Unit marks a constant weight expression, for which the
+// solver uses BFS and multiplies the hop count (the "optimized built-in
+// algorithm" choice of §1/§4).
+type Spec struct {
+	// WeightsI holds strictly positive integer weights per edge row.
+	WeightsI []int64
+	// WeightsF holds strictly positive float weights per edge row.
+	WeightsF []float64
+	// Unit marks a constant weight; UnitI/UnitF hold the constant.
+	Unit  bool
+	UnitI int64
+	UnitF float64
+	// Float reports whether the cost type is DOUBLE.
+	Float bool
+	// NeedPath requests path reconstruction.
+	NeedPath bool
+	// ForceBinaryHeap disables the radix queue for integer weights
+	// (used by the E5 ablation only).
+	ForceBinaryHeap bool
+}
+
+// Solution holds per-pair results of a batched shortest-path request.
+type Solution struct {
+	// Reached[i] reports whether pair i's destination is reachable.
+	Reached []bool
+	// CostI[s][i] / CostF[s][i] hold the cost of pair i under spec s.
+	CostI [][]int64
+	CostF [][]float64
+	// Paths[s][i] holds the edge-table rows of one shortest path for
+	// pair i under spec s (nil for unreachable pairs and empty paths).
+	Paths [][][]int32
+}
+
+// Solver computes batched many-to-many shortest paths over one CSR,
+// optionally extended by a Delta of appended edges (§6 graph-index
+// updates). It groups pairs by source so each distinct source runs a
+// single traversal that serves all its destinations (the batching that
+// figure 1b shows amortizes graph construction), with early exit once
+// every destination of the group is settled.
+type Solver struct {
+	g     *CSR
+	delta *Delta
+	n     int // total vertices (CSR + delta growth)
+	bfs   *bfsState
+	dij   *dijkstraState
+	// wanted is a reusable destination mark array.
+	wanted []bool
+}
+
+// NewSolver returns a solver for g.
+func NewSolver(g *CSR) *Solver {
+	return &Solver{g: g, n: g.N, wanted: make([]bool, g.N)}
+}
+
+// NewSolverWithDelta returns a solver over a snapshot CSR plus the
+// edges appended since (delta may be nil).
+func NewSolverWithDelta(g *CSR, delta *Delta) *Solver {
+	n := g.N
+	if delta != nil && delta.N > n {
+		n = delta.N
+	}
+	return &Solver{g: g, delta: delta, n: n, wanted: make([]bool, n)}
+}
+
+// ValidateWeights checks the strict positivity requirement of §2 and
+// returns a descriptive error naming the first offending edge row.
+func ValidateWeights(spec *Spec) error {
+	if spec.Unit {
+		if spec.Float {
+			if spec.UnitF <= 0 {
+				return fmt.Errorf("CHEAPEST SUM: weight %v is not strictly positive", spec.UnitF)
+			}
+		} else if spec.UnitI <= 0 {
+			return fmt.Errorf("CHEAPEST SUM: weight %d is not strictly positive", spec.UnitI)
+		}
+		return nil
+	}
+	for i, w := range spec.WeightsI {
+		if w <= 0 {
+			return fmt.Errorf("CHEAPEST SUM: edge row %d has non-positive weight %d", i, w)
+		}
+	}
+	for i, w := range spec.WeightsF {
+		if w <= 0 {
+			return fmt.Errorf("CHEAPEST SUM: edge row %d has non-positive weight %v", i, w)
+		}
+	}
+	return nil
+}
+
+// Solve computes reachability (and the costs/paths requested by specs)
+// for the given parallel src/dst pair arrays. Entries with src or dst
+// equal to NoVertex are reported unreachable (their keys were not
+// vertices of the graph). Weight positivity must have been validated.
+func (s *Solver) Solve(srcs, dsts []VertexID, specs []Spec) (*Solution, error) {
+	if len(srcs) != len(dsts) {
+		return nil, fmt.Errorf("graph: %d sources vs %d destinations", len(srcs), len(dsts))
+	}
+	n := len(srcs)
+	sol := &Solution{
+		Reached: make([]bool, n),
+		CostI:   make([][]int64, len(specs)),
+		CostF:   make([][]float64, len(specs)),
+		Paths:   make([][][]int32, len(specs)),
+	}
+	for k, spec := range specs {
+		if spec.Float {
+			sol.CostF[k] = make([]float64, n)
+		} else {
+			sol.CostI[k] = make([]int64, n)
+		}
+		if spec.NeedPath {
+			sol.Paths[k] = make([][]int32, n)
+		}
+	}
+
+	// Group pair indices by source vertex.
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if srcs[i] != NoVertex && dsts[i] != NoVertex {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return srcs[order[a]] < srcs[order[b]] })
+
+	for at := 0; at < len(order); {
+		src := srcs[order[at]]
+		end := at
+		for end < len(order) && srcs[order[end]] == src {
+			end++
+		}
+		group := order[at:end]
+		at = end
+		s.solveGroup(src, group, dsts, specs, sol)
+	}
+	return sol, nil
+}
+
+// solveGroup answers all pairs sharing one source vertex.
+func (s *Solver) solveGroup(src VertexID, group []int, dsts []VertexID, specs []Spec, sol *Solution) {
+	// Mark the distinct destinations of this group.
+	distinct := 0
+	for _, i := range group {
+		d := dsts[i]
+		if !s.wanted[d] {
+			s.wanted[d] = true
+			distinct++
+		}
+	}
+	defer func() {
+		for _, i := range group {
+			s.wanted[dsts[i]] = false
+		}
+	}()
+
+	// Reachability (and unit-weight costs) come from one BFS. If every
+	// spec is weighted we still derive reachability from the first
+	// weighted run instead, saving a traversal.
+	needBFS := len(specs) == 0
+	for _, spec := range specs {
+		if spec.Unit {
+			needBFS = true
+		}
+	}
+
+	reachedSet := false
+	if needBFS {
+		if s.bfs == nil {
+			s.bfs = newBFSState(s.n)
+		}
+		s.bfs.runBFS(s.g, s.delta, src, s.wanted, distinct)
+		for _, i := range group {
+			sol.Reached[i] = s.bfs.visited(dsts[i])
+		}
+		reachedSet = true
+		for k := range specs {
+			spec := &specs[k]
+			if !spec.Unit {
+				continue
+			}
+			for _, i := range group {
+				d := dsts[i]
+				if !s.bfs.visited(d) {
+					continue
+				}
+				hops := s.bfs.dist[d]
+				if spec.Float {
+					sol.CostF[k][i] = float64(hops) * spec.UnitF
+				} else {
+					sol.CostI[k][i] = hops * spec.UnitI
+				}
+				if spec.NeedPath {
+					sol.Paths[k][i] = s.bfs.pathTo(d)
+				}
+			}
+		}
+	}
+
+	for k := range specs {
+		spec := &specs[k]
+		if spec.Unit {
+			continue
+		}
+		if s.dij == nil {
+			s.dij = newDijkstraState(s.n)
+		}
+		switch {
+		case spec.WeightsF != nil:
+			s.dij.runFloat(s.g, s.delta, src, spec.WeightsF, s.wanted, distinct)
+		case spec.ForceBinaryHeap:
+			s.dij.runIntBinaryHeap(s.g, s.delta, src, spec.WeightsI, s.wanted, distinct)
+		default:
+			s.dij.runInt(s.g, s.delta, src, spec.WeightsI, s.wanted, distinct)
+		}
+		for _, i := range group {
+			d := dsts[i]
+			ok := s.dij.seen(d) && s.dij.settled[d]
+			if !reachedSet {
+				sol.Reached[i] = ok
+			}
+			if !ok {
+				continue
+			}
+			if spec.Float {
+				sol.CostF[k][i] = s.dij.distF[d]
+			} else {
+				sol.CostI[k][i] = s.dij.distI[d]
+			}
+			if spec.NeedPath {
+				sol.Paths[k][i] = s.dij.pathTo(d)
+			}
+		}
+		reachedSet = true
+	}
+}

@@ -1,0 +1,109 @@
+// Package graph is the shortest-path runtime of the engine. It mirrors
+// the external library of the paper's prototype (§3.2): vertices are
+// dictionary-encoded into the dense domain H = {0..|V|-1}, the edge
+// list is converted into a Compressed Sparse Row representation, and
+// shortest paths are computed with BFS (unweighted), Dijkstra with a
+// radix queue (integer weights) or Dijkstra with a binary heap (float
+// weights), batched over many source/destination pairs.
+package graph
+
+import "fmt"
+
+// VertexID is a dense vertex identifier in H = {0..N-1}.
+type VertexID = int32
+
+// NoVertex marks an absent vertex or parent.
+const NoVertex VertexID = -1
+
+// CSR is a Compressed Sparse Row adjacency structure. Offsets has
+// length N+1; the outgoing edges of vertex v occupy CSR positions
+// Offsets[v]..Offsets[v+1]-1 (the prefix-sum addressing of §3.2).
+type CSR struct {
+	// N is the number of vertices.
+	N int
+	// Offsets is the prefix-sum over out-degrees, length N+1.
+	Offsets []int64
+	// Targets holds the destination vertex per CSR position.
+	Targets []VertexID
+	// Perm maps a CSR position back to the originating edge-table row,
+	// so per-query weight vectors (in edge-table order) can be
+	// addressed without re-scattering, and paths can be reconstructed
+	// as edge-table row references (§3.3).
+	Perm []int32
+}
+
+// NumEdges returns the edge count.
+func (g *CSR) NumEdges() int { return len(g.Targets) }
+
+// OutDegree returns the out-degree of v.
+func (g *CSR) OutDegree(v VertexID) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns the slice of CSR positions for v's outgoing edges.
+func (g *CSR) edgeRange(v VertexID) (int64, int64) {
+	return g.Offsets[v], g.Offsets[v+1]
+}
+
+// BuildCSR constructs the CSR from parallel source/destination arrays
+// of dense vertex ids. n is the vertex count. Entries with src or dst
+// outside [0, n) are rejected.
+func BuildCSR(n int, src, dst []VertexID) (*CSR, error) {
+	if len(src) != len(dst) {
+		return nil, fmt.Errorf("graph: src/dst length mismatch: %d vs %d", len(src), len(dst))
+	}
+	m := len(src)
+	offsets := make([]int64, n+1)
+	for _, s := range src {
+		if s < 0 || int(s) >= n {
+			return nil, fmt.Errorf("graph: source id %d out of range [0,%d)", s, n)
+		}
+		offsets[s+1]++
+	}
+	for _, d := range dst {
+		if d < 0 || int(d) >= n {
+			return nil, fmt.Errorf("graph: destination id %d out of range [0,%d)", d, n)
+		}
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	targets := make([]VertexID, m)
+	perm := make([]int32, m)
+	// cursor tracks the next free slot per vertex while scattering.
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for row := 0; row < m; row++ {
+		s := src[row]
+		pos := cursor[s]
+		cursor[s]++
+		targets[pos] = dst[row]
+		perm[pos] = int32(row)
+	}
+	return &CSR{N: n, Offsets: offsets, Targets: targets, Perm: perm}, nil
+}
+
+// Reverse returns the CSR of the transposed graph. Perm entries still
+// refer to the original edge rows.
+func (g *CSR) Reverse() *CSR {
+	m := len(g.Targets)
+	src := make([]VertexID, m)
+	dst := make([]VertexID, m)
+	for v := VertexID(0); int(v) < g.N; v++ {
+		lo, hi := g.edgeRange(v)
+		for p := lo; p < hi; p++ {
+			src[p] = g.Targets[p]
+			dst[p] = v
+		}
+	}
+	rev, err := BuildCSR(g.N, src, dst)
+	if err != nil {
+		// Cannot happen: ids come from a valid CSR.
+		panic(err)
+	}
+	// Fix Perm to reference original rows rather than positions.
+	for p := range rev.Perm {
+		rev.Perm[p] = g.Perm[rev.Perm[p]]
+	}
+	return rev
+}

@@ -1,0 +1,65 @@
+package graph
+
+// Dict dictionary-encodes arbitrary vertex keys into the dense domain
+// H = {0..N-1} (paper §3.1: "all the values from X, Y, S and D are
+// translated into integers from the domain H"). Keys are either int64
+// (covering BIGINT, DATE and BOOLEAN payloads) or string; exactly one
+// key space is used per dictionary.
+type Dict struct {
+	ints map[int64]VertexID
+	strs map[string]VertexID
+	n    VertexID
+}
+
+// NewIntDict returns a dictionary over int64 keys.
+func NewIntDict(capacity int) *Dict {
+	return &Dict{ints: make(map[int64]VertexID, capacity)}
+}
+
+// NewStringDict returns a dictionary over string keys.
+func NewStringDict(capacity int) *Dict {
+	return &Dict{strs: make(map[string]VertexID, capacity)}
+}
+
+// Len returns the number of distinct keys seen so far, i.e. |V|.
+func (d *Dict) Len() int { return int(d.n) }
+
+// EncodeInt interns an int64 key, assigning the next dense id on first
+// sight.
+func (d *Dict) EncodeInt(k int64) VertexID {
+	if id, ok := d.ints[k]; ok {
+		return id
+	}
+	id := d.n
+	d.ints[k] = id
+	d.n++
+	return id
+}
+
+// EncodeString interns a string key.
+func (d *Dict) EncodeString(k string) VertexID {
+	if id, ok := d.strs[k]; ok {
+		return id
+	}
+	id := d.n
+	d.strs[k] = id
+	d.n++
+	return id
+}
+
+// LookupInt returns the id of an int64 key, or NoVertex when the key is
+// not a vertex of the graph (the initial filtering step of §3.1).
+func (d *Dict) LookupInt(k int64) VertexID {
+	if id, ok := d.ints[k]; ok {
+		return id
+	}
+	return NoVertex
+}
+
+// LookupString returns the id of a string key, or NoVertex.
+func (d *Dict) LookupString(k string) VertexID {
+	if id, ok := d.strs[k]; ok {
+		return id
+	}
+	return NoVertex
+}

@@ -1,0 +1,291 @@
+package graph
+
+import "container/heap"
+
+// dijkstraState is the shared per-vertex scratch for both Dijkstra
+// variants (radix queue for integer weights, binary heap for float
+// weights). Like bfsState it uses epoch stamping so per-source runs do
+// not pay an O(V) clear.
+type dijkstraState struct {
+	distI []int64
+	distF []float64
+	// parentRow / parentVertex track the relaxed edge as an edge-table
+	// row and its source endpoint.
+	parentRow    []int32
+	parentVertex []VertexID
+	settled      []bool
+	epoch        []uint32
+	cur          uint32
+
+	rq *radixHeap
+	bq floatQueue
+}
+
+func newDijkstraState(n int) *dijkstraState {
+	return &dijkstraState{
+		distI:        make([]int64, n),
+		distF:        make([]float64, n),
+		parentRow:    make([]int32, n),
+		parentVertex: make([]VertexID, n),
+		settled:      make([]bool, n),
+		epoch:        make([]uint32, n),
+		rq:           newRadixHeap(),
+	}
+}
+
+func (s *dijkstraState) reset() {
+	s.cur++
+	if s.cur == 0 {
+		for i := range s.epoch {
+			s.epoch[i] = 0
+		}
+		s.cur = 1
+	}
+	s.rq.reset()
+	s.bq = s.bq[:0]
+}
+
+func (s *dijkstraState) seen(v VertexID) bool { return s.epoch[v] == s.cur }
+
+func (s *dijkstraState) touch(v VertexID) {
+	s.epoch[v] = s.cur
+	s.settled[v] = false
+}
+
+// runInt runs Dijkstra with the radix queue over integer weights.
+// weights is in edge-table row order. delta (optional) supplies edges
+// appended after the CSR snapshot. It settles vertices until all
+// wanted destinations are settled or the queue empties, returning the
+// number of wanted vertices reached.
+func (s *dijkstraState) runInt(g *CSR, delta *Delta, src VertexID, weights []int64, wanted []bool, wantLeft int) int {
+	s.reset()
+	s.touch(src)
+	s.distI[src] = 0
+	s.parentRow[src] = -1
+	s.parentVertex[src] = NoVertex
+	s.rq.push(0, src)
+	reached := 0
+	for s.rq.len() > 0 {
+		_, u := s.rq.popMin()
+		if s.settled[u] {
+			continue // stale duplicate entry (lazy deletion)
+		}
+		s.settled[u] = true
+		if wanted[u] {
+			reached++
+			wantLeft--
+			if wantLeft == 0 {
+				return reached
+			}
+		}
+		du := s.distI[u]
+		relax := func(v VertexID, row int32) {
+			nd := du + weights[row]
+			if !s.seen(v) {
+				s.touch(v)
+				s.distI[v] = nd
+				s.parentRow[v] = row
+				s.parentVertex[v] = u
+				s.rq.push(nd, v)
+			} else if !s.settled[v] && nd < s.distI[v] {
+				s.distI[v] = nd
+				s.parentRow[v] = row
+				s.parentVertex[v] = u
+				s.rq.push(nd, v)
+			}
+		}
+		if int(u) < g.N {
+			lo, hi := g.edgeRange(u)
+			for p := lo; p < hi; p++ {
+				relax(g.Targets[p], g.Perm[p])
+			}
+		}
+		if delta != nil {
+			for _, de := range delta.Adj[u] {
+				relax(de.To, de.Row)
+			}
+		}
+	}
+	return reached
+}
+
+// runFloat runs Dijkstra with a binary heap over float weights.
+func (s *dijkstraState) runFloat(g *CSR, delta *Delta, src VertexID, weights []float64, wanted []bool, wantLeft int) int {
+	s.reset()
+	s.touch(src)
+	s.distF[src] = 0
+	s.parentRow[src] = -1
+	s.parentVertex[src] = NoVertex
+	heap.Push(&s.bq, floatItem{0, src})
+	reached := 0
+	for s.bq.Len() > 0 {
+		it := heap.Pop(&s.bq).(floatItem)
+		u := it.v
+		if s.settled[u] {
+			continue
+		}
+		s.settled[u] = true
+		if wanted[u] {
+			reached++
+			wantLeft--
+			if wantLeft == 0 {
+				return reached
+			}
+		}
+		du := s.distF[u]
+		relax := func(v VertexID, row int32) {
+			nd := du + weights[row]
+			if !s.seen(v) {
+				s.touch(v)
+				s.distF[v] = nd
+				s.parentRow[v] = row
+				s.parentVertex[v] = u
+				heap.Push(&s.bq, floatItem{nd, v})
+			} else if !s.settled[v] && nd < s.distF[v] {
+				s.distF[v] = nd
+				s.parentRow[v] = row
+				s.parentVertex[v] = u
+				heap.Push(&s.bq, floatItem{nd, v})
+			}
+		}
+		if int(u) < g.N {
+			lo, hi := g.edgeRange(u)
+			for p := lo; p < hi; p++ {
+				relax(g.Targets[p], g.Perm[p])
+			}
+		}
+		if delta != nil {
+			for _, de := range delta.Adj[u] {
+				relax(de.To, de.Row)
+			}
+		}
+	}
+	return reached
+}
+
+// pathTo reconstructs the shortest path to v as edge-table rows.
+func (s *dijkstraState) pathTo(v VertexID) []int32 {
+	var rev []int32
+	for s.parentRow[v] >= 0 {
+		rev = append(rev, s.parentRow[v])
+		v = s.parentVertex[v]
+	}
+	// Reverse into traversal order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ownerOf returns the source vertex owning CSR position p; used by
+// tests to validate the CSR layout.
+func ownerOf(g *CSR, p int64) VertexID {
+	lo, hi := 0, g.N
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.Offsets[mid+1] <= p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return VertexID(lo)
+}
+
+// floatQueue is a container/heap binary heap of (dist, vertex) pairs.
+type floatQueue []floatItem
+
+type floatItem struct {
+	d float64
+	v VertexID
+}
+
+func (q floatQueue) Len() int            { return len(q) }
+func (q floatQueue) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q floatQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *floatQueue) Push(x interface{}) { *q = append(*q, x.(floatItem)) }
+func (q *floatQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// intQueue is a binary-heap Dijkstra queue over integer distances, used
+// only by the E5 ablation benchmark comparing the radix queue against a
+// conventional heap.
+type intQueue []intItem
+
+type intItem struct {
+	d int64
+	v VertexID
+}
+
+func (q intQueue) Len() int            { return len(q) }
+func (q intQueue) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q intQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *intQueue) Push(x interface{}) { *q = append(*q, x.(intItem)) }
+func (q *intQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// runIntBinaryHeap is runInt with a binary heap instead of the radix
+// queue (ablation E5).
+func (s *dijkstraState) runIntBinaryHeap(g *CSR, delta *Delta, src VertexID, weights []int64, wanted []bool, wantLeft int) int {
+	s.reset()
+	s.touch(src)
+	s.distI[src] = 0
+	s.parentRow[src] = -1
+	s.parentVertex[src] = NoVertex
+	var bq intQueue
+	heap.Push(&bq, intItem{0, src})
+	reached := 0
+	for bq.Len() > 0 {
+		it := heap.Pop(&bq).(intItem)
+		u := it.v
+		if s.settled[u] {
+			continue
+		}
+		s.settled[u] = true
+		if wanted[u] {
+			reached++
+			wantLeft--
+			if wantLeft == 0 {
+				return reached
+			}
+		}
+		du := s.distI[u]
+		relax := func(v VertexID, row int32) {
+			nd := du + weights[row]
+			if !s.seen(v) {
+				s.touch(v)
+				s.distI[v] = nd
+				s.parentRow[v] = row
+				s.parentVertex[v] = u
+				heap.Push(&bq, intItem{nd, v})
+			} else if !s.settled[v] && nd < s.distI[v] {
+				s.distI[v] = nd
+				s.parentRow[v] = row
+				s.parentVertex[v] = u
+				heap.Push(&bq, intItem{nd, v})
+			}
+		}
+		if int(u) < g.N {
+			lo, hi := g.edgeRange(u)
+			for p := lo; p < hi; p++ {
+				relax(g.Targets[p], g.Perm[p])
+			}
+		}
+		if delta != nil {
+			for _, de := range delta.Adj[u] {
+				relax(de.To, de.Row)
+			}
+		}
+	}
+	return reached
+}

@@ -1,0 +1,90 @@
+package graph
+
+import "math/bits"
+
+// radixHeap is a monotone priority queue over non-negative int64 keys,
+// the "Radix Queue" of Ahuja, Mehlhorn, Orlin and Tarjan the paper's
+// prototype pairs with Dijkstra for weighted shortest paths (§3.2).
+//
+// Invariant: keys inserted after a DeleteMin must be >= the last
+// deleted minimum (which holds in Dijkstra because edge weights are
+// strictly positive). Items are kept in 65 buckets indexed by the
+// position of the highest bit in which the key differs from the last
+// minimum; DeleteMin redistributes the first non-empty bucket.
+type radixHeap struct {
+	buckets [65][]radixItem
+	last    int64 // last deleted minimum
+	size    int
+}
+
+type radixItem struct {
+	key int64
+	v   VertexID
+}
+
+func newRadixHeap() *radixHeap { return &radixHeap{} }
+
+func (h *radixHeap) reset() {
+	for i := range h.buckets {
+		h.buckets[i] = h.buckets[i][:0]
+	}
+	h.last = 0
+	h.size = 0
+}
+
+func (h *radixHeap) len() int { return h.size }
+
+// bucketFor returns the bucket index of key relative to the current
+// last minimum: 0 when equal, otherwise 1 + floor(log2(key XOR last)).
+func (h *radixHeap) bucketFor(key int64) int {
+	x := uint64(key) ^ uint64(h.last)
+	if x == 0 {
+		return 0
+	}
+	return bits.Len64(x)
+}
+
+// push inserts a (key, vertex) pair; key must be >= the last minimum.
+func (h *radixHeap) push(key int64, v VertexID) {
+	b := h.bucketFor(key)
+	h.buckets[b] = append(h.buckets[b], radixItem{key, v})
+	h.size++
+}
+
+// popMin removes and returns an item with the smallest key.
+func (h *radixHeap) popMin() (int64, VertexID) {
+	// Fast path: bucket 0 holds items equal to the last minimum.
+	if n := len(h.buckets[0]); n > 0 {
+		it := h.buckets[0][n-1]
+		h.buckets[0] = h.buckets[0][:n-1]
+		h.size--
+		return it.key, it.v
+	}
+	// Find the first non-empty bucket, extract its minimum as the new
+	// pivot, and redistribute the remainder into lower buckets.
+	for b := 1; b < len(h.buckets); b++ {
+		items := h.buckets[b]
+		if len(items) == 0 {
+			continue
+		}
+		minIdx := 0
+		for i := 1; i < len(items); i++ {
+			if items[i].key < items[minIdx].key {
+				minIdx = i
+			}
+		}
+		min := items[minIdx]
+		h.last = min.key
+		for i, it := range items {
+			if i == minIdx {
+				continue
+			}
+			nb := h.bucketFor(it.key)
+			h.buckets[nb] = append(h.buckets[nb], it)
+		}
+		h.buckets[b] = h.buckets[b][:0]
+		h.size--
+		return min.key, min.v
+	}
+	panic("radixHeap: popMin on empty heap")
+}

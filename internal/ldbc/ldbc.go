@@ -1,0 +1,239 @@
+// Package ldbc is a deterministic substitute for the LDBC SNB DATAGEN
+// used in the paper's evaluation (§4). It generates a social network
+// of persons and friendship edges sized to match Table 1 of the paper
+// per scale factor: undirected friendships stored as two directed
+// edges, each carrying a creationDate and a strictly positive affinity
+// weight (the precomputed Q14 weight), plus an integer weight variant
+// for the radix-queue code path.
+//
+// The degree distribution is skewed (power-law-ish) like a social
+// graph: one endpoint of each friendship is drawn uniformly, the other
+// with quadratic preference towards low person indices, which yields a
+// heavy-tailed degree distribution without the memory cost of full
+// preferential attachment bookkeeping.
+package ldbc
+
+import (
+	"fmt"
+
+	"graphsql/internal/storage"
+	"graphsql/internal/types"
+)
+
+// tableSizes reproduces Table 1 of the paper: vertices and *directed*
+// edges per scale factor (edges are double the undirected friendship
+// count, §4).
+var tableSizes = map[int]struct{ V, E int }{
+	1:   {9_892, 362_000},
+	3:   {24_000, 1_132_000},
+	10:  {65_000, 3_894_000},
+	30:  {165_000, 12_115_000},
+	100: {448_000, 39_998_000},
+	300: {1_128_000, 119_225_000},
+}
+
+// ScaleFactors lists the supported LDBC scale factors in order.
+func ScaleFactors() []int { return []int{1, 3, 10, 30, 100, 300} }
+
+// Sizes returns the paper's Table 1 vertex and directed-edge counts
+// for a scale factor.
+func Sizes(sf int) (vertices, directedEdges int, err error) {
+	s, ok := tableSizes[sf]
+	if !ok {
+		return 0, 0, fmt.Errorf("ldbc: unknown scale factor %d (supported: 1, 3, 10, 30, 100, 300)", sf)
+	}
+	return s.V, s.E, nil
+}
+
+// Config controls dataset generation.
+type Config struct {
+	// SF is the LDBC scale factor (1, 3, 10, 30, 100, 300).
+	SF int
+	// Shrink divides both |V| and |E| by this factor (minimum 1),
+	// producing a "mini" dataset with the same shape; used to keep
+	// benchmark runs laptop-sized. 1 reproduces Table 1 exactly.
+	Shrink int
+	// Seed makes generation deterministic; 0 selects a fixed default.
+	Seed uint64
+}
+
+// Dataset is a generated social network in columnar form.
+type Dataset struct {
+	// SF and Shrink echo the configuration.
+	SF, Shrink int
+	// PersonIDs holds the (sparse, non-dense) person identifiers.
+	PersonIDs []int64
+	// FirstNames and LastNames parallel PersonIDs.
+	FirstNames []string
+	LastNames  []string
+	// Src and Dst hold the directed friendship edges (person ids).
+	Src, Dst []int64
+	// CreationDays holds days-since-epoch per edge.
+	CreationDays []int64
+	// Weight holds the positive float affinity per edge; IWeight is
+	// the integer variant (1..10) for the radix queue path.
+	Weight  []float64
+	IWeight []int64
+}
+
+// NumVertices returns |V|.
+func (d *Dataset) NumVertices() int { return len(d.PersonIDs) }
+
+// NumEdges returns the number of directed edges.
+func (d *Dataset) NumEdges() int { return len(d.Src) }
+
+// rng is a SplitMix64 generator: tiny, fast and deterministic.
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *rng) Intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Float64 returns a uniform float in [0, 1).
+func (r *rng) Float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+var firstNames = []string{
+	"Mahinda", "Carmen", "Chen", "Hans", "Jan", "Alim", "Ken", "Eve",
+	"Otto", "Bryn", "Jun", "Ana", "Wei", "Lei", "Abdul", "Ivan",
+	"Jose", "Lin", "Noor", "Mia", "Yang", "Rahul", "Sara", "Finn",
+}
+
+var lastNames = []string{
+	"Perera", "Lepland", "Wang", "Johansson", "Zhang", "Garcia",
+	"Tanaka", "Kumar", "Muller", "Silva", "Khan", "Li", "Novak",
+	"Santos", "Kim", "Ahmed", "Costa", "Sato", "Ali", "Chen",
+}
+
+// PersonID maps a dense person index to its sparse identifier. Sparse
+// ids exercise the dictionary encoding of §3.1 (the LDBC generator
+// also emits non-dense ids).
+func PersonID(i int) int64 { return int64(i)*13 + 933 }
+
+// Generate builds a dataset. Generation is O(|V| + |E|) time and
+// memory and fully deterministic for a (SF, Shrink, Seed) triple.
+func Generate(cfg Config) (*Dataset, error) {
+	v, e, err := Sizes(cfg.SF)
+	if err != nil {
+		return nil, err
+	}
+	shrink := cfg.Shrink
+	if shrink < 1 {
+		shrink = 1
+	}
+	v /= shrink
+	e /= shrink
+	if v < 4 {
+		return nil, fmt.Errorf("ldbc: shrink %d leaves fewer than 4 persons at SF %d", shrink, cfg.SF)
+	}
+	friendships := e / 2
+
+	r := newRng(cfg.Seed)
+	ds := &Dataset{
+		SF:           cfg.SF,
+		Shrink:       shrink,
+		PersonIDs:    make([]int64, v),
+		FirstNames:   make([]string, v),
+		LastNames:    make([]string, v),
+		Src:          make([]int64, 0, friendships*2),
+		Dst:          make([]int64, 0, friendships*2),
+		CreationDays: make([]int64, 0, friendships*2),
+		Weight:       make([]float64, 0, friendships*2),
+		IWeight:      make([]int64, 0, friendships*2),
+	}
+	for i := 0; i < v; i++ {
+		ds.PersonIDs[i] = PersonID(i)
+		ds.FirstNames[i] = firstNames[r.Intn(len(firstNames))]
+		ds.LastNames[i] = lastNames[r.Intn(len(lastNames))]
+	}
+
+	// Date range ~2010-01-01 .. 2012-12-31 (days since epoch).
+	const dayLo, daySpan = 14610, 1095
+
+	for f := 0; f < friendships; f++ {
+		a := r.Intn(v)
+		// Quadratic skew towards low indices gives hub vertices.
+		u := r.Float64()
+		b := int(u * u * float64(v))
+		if b >= v {
+			b = v - 1
+		}
+		if a == b {
+			b = (b + 1) % v
+		}
+		day := dayLo + int64(r.Intn(daySpan))
+		w := 0.5 + r.Float64()*4.5
+		iw := int64(1 + r.Intn(10))
+		ds.Src = append(ds.Src, ds.PersonIDs[a], ds.PersonIDs[b])
+		ds.Dst = append(ds.Dst, ds.PersonIDs[b], ds.PersonIDs[a])
+		ds.CreationDays = append(ds.CreationDays, day, day)
+		ds.Weight = append(ds.Weight, w, w)
+		ds.IWeight = append(ds.IWeight, iw, iw)
+	}
+	return ds, nil
+}
+
+// Load bulk-loads the dataset into a catalog as the tables
+// persons(id, firstName, lastName) and friends(src, dst, creationDate,
+// weight, iweight). It bypasses the SQL layer for speed.
+func (d *Dataset) Load(cat *storage.Catalog) error {
+	persons, err := cat.CreateTable("persons", storage.Schema{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "firstName", Kind: types.KindString},
+		{Name: "lastName", Kind: types.KindString},
+	})
+	if err != nil {
+		return err
+	}
+	friends, err := cat.CreateTable("friends", storage.Schema{
+		{Name: "src", Kind: types.KindInt},
+		{Name: "dst", Kind: types.KindInt},
+		{Name: "creationDate", Kind: types.KindDate},
+		{Name: "weight", Kind: types.KindFloat},
+		{Name: "iweight", Kind: types.KindInt},
+	})
+	if err != nil {
+		return err
+	}
+	for i := range d.PersonIDs {
+		persons.Cols[0].AppendInt(d.PersonIDs[i])
+		persons.Cols[1].AppendString(d.FirstNames[i])
+		persons.Cols[2].AppendString(d.LastNames[i])
+	}
+	for i := range d.Src {
+		friends.Cols[0].AppendInt(d.Src[i])
+		friends.Cols[1].AppendInt(d.Dst[i])
+		friends.Cols[2].AppendInt(d.CreationDays[i])
+		friends.Cols[3].AppendFloat(d.Weight[i])
+		friends.Cols[4].AppendInt(d.IWeight[i])
+	}
+	return nil
+}
+
+// RandomPairs draws n uniform ⟨source, destination⟩ person-id pairs,
+// the workload of §4 ("randomly generated out of the set of the
+// generated persons and according to a uniform distribution").
+func (d *Dataset) RandomPairs(n int, seed uint64) (src, dst []int64) {
+	r := newRng(seed ^ 0xA5A5A5A5)
+	src = make([]int64, n)
+	dst = make([]int64, n)
+	v := len(d.PersonIDs)
+	for i := 0; i < n; i++ {
+		src[i] = d.PersonIDs[r.Intn(v)]
+		dst[i] = d.PersonIDs[r.Intn(v)]
+	}
+	return src, dst
+}

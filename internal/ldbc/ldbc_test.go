@@ -1,0 +1,183 @@
+package ldbc
+
+import (
+	"testing"
+
+	"graphsql/internal/storage"
+)
+
+func TestSizesMatchPaperTable1(t *testing.T) {
+	want := map[int][2]int{
+		1:   {9_892, 362_000},
+		3:   {24_000, 1_132_000},
+		10:  {65_000, 3_894_000},
+		30:  {165_000, 12_115_000},
+		100: {448_000, 39_998_000},
+		300: {1_128_000, 119_225_000},
+	}
+	for sf, w := range want {
+		v, e, err := Sizes(sf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != w[0] || e != w[1] {
+			t.Errorf("SF%d: (%d, %d), want (%d, %d)", sf, v, e, w[0], w[1])
+		}
+	}
+	if _, _, err := Sizes(7); err == nil {
+		t.Fatal("unknown SF must error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{SF: 1, Shrink: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{SF: 1, Shrink: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same config must give same sizes")
+	}
+	for i := range a.Src {
+		if a.Src[i] != b.Src[i] || a.Dst[i] != b.Dst[i] || a.Weight[i] != b.Weight[i] {
+			t.Fatalf("edge %d differs between runs", i)
+		}
+	}
+	c, err := Generate(Config{SF: 1, Shrink: 50, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Src {
+		if a.Src[i] != c.Src[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different graphs")
+	}
+}
+
+func TestGenerateShapeInvariants(t *testing.T) {
+	ds, err := Generate(Config{SF: 1, Shrink: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, wantE, _ := Sizes(1)
+	if ds.NumVertices() != wantV/10 {
+		t.Fatalf("|V| = %d, want %d", ds.NumVertices(), wantV/10)
+	}
+	// Friendships are symmetric pairs; edge count is even and within
+	// one friendship of the target.
+	if ds.NumEdges()%2 != 0 {
+		t.Fatal("directed edges must come in pairs")
+	}
+	if diff := wantE/10 - ds.NumEdges(); diff < 0 || diff > 1 {
+		t.Fatalf("|E| = %d, want ~%d", ds.NumEdges(), wantE/10)
+	}
+	ids := map[int64]bool{}
+	for _, id := range ds.PersonIDs {
+		if ids[id] {
+			t.Fatal("duplicate person id")
+		}
+		ids[id] = true
+	}
+	for i := range ds.Src {
+		if ds.Src[i] == ds.Dst[i] {
+			t.Fatalf("self loop at %d", i)
+		}
+		if !ids[ds.Src[i]] || !ids[ds.Dst[i]] {
+			t.Fatalf("edge %d references unknown person", i)
+		}
+		if ds.Weight[i] <= 0 || ds.IWeight[i] <= 0 {
+			t.Fatalf("non-positive weight at %d", i)
+		}
+		if ds.CreationDays[i] < 14610 || ds.CreationDays[i] >= 14610+1095 {
+			t.Fatalf("creation date out of range at %d", i)
+		}
+	}
+	// Symmetry: edge 2k+1 is the reverse of edge 2k with equal weight.
+	for i := 0; i+1 < ds.NumEdges(); i += 2 {
+		if ds.Src[i] != ds.Dst[i+1] || ds.Dst[i] != ds.Src[i+1] || ds.Weight[i] != ds.Weight[i+1] {
+			t.Fatalf("pair %d not symmetric", i)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{SF: 7}); err == nil {
+		t.Fatal("unknown SF must error")
+	}
+	if _, err := Generate(Config{SF: 1, Shrink: 10_000}); err == nil {
+		t.Fatal("over-shrunk dataset must error")
+	}
+}
+
+func TestLoadIntoCatalog(t *testing.T) {
+	ds, err := Generate(Config{SF: 1, Shrink: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := storage.NewCatalog()
+	if err := ds.Load(cat); err != nil {
+		t.Fatal(err)
+	}
+	persons, ok := cat.Table("persons")
+	if !ok || persons.NumRows() != ds.NumVertices() {
+		t.Fatal("persons table wrong")
+	}
+	friends, ok := cat.Table("friends")
+	if !ok || friends.NumRows() != ds.NumEdges() {
+		t.Fatal("friends table wrong")
+	}
+	if err := friends.Chunk().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Loading twice must fail (tables exist).
+	if err := ds.Load(cat); err == nil {
+		t.Fatal("double load must fail")
+	}
+}
+
+func TestRandomPairsUniformAndDeterministic(t *testing.T) {
+	ds, err := Generate(Config{SF: 1, Shrink: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, d1 := ds.RandomPairs(100, 5)
+	s2, d2 := ds.RandomPairs(100, 5)
+	for i := range s1 {
+		if s1[i] != s2[i] || d1[i] != d2[i] {
+			t.Fatal("pairs must be deterministic per seed")
+		}
+	}
+	valid := map[int64]bool{}
+	for _, id := range ds.PersonIDs {
+		valid[id] = true
+	}
+	for i := range s1 {
+		if !valid[s1[i]] || !valid[d1[i]] {
+			t.Fatalf("pair %d references unknown person", i)
+		}
+	}
+}
+
+func TestScaleFactorsList(t *testing.T) {
+	sfs := ScaleFactors()
+	if len(sfs) != 6 || sfs[0] != 1 || sfs[5] != 300 {
+		t.Fatalf("scale factors = %v", sfs)
+	}
+}
+
+func TestPersonIDSparse(t *testing.T) {
+	if PersonID(0) == PersonID(1) {
+		t.Fatal("ids must be distinct")
+	}
+	if PersonID(1)-PersonID(0) == 1 {
+		t.Fatal("ids should be sparse to exercise dictionary encoding")
+	}
+}

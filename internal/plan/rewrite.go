@@ -1,0 +1,211 @@
+package plan
+
+import (
+	"graphsql/internal/expr"
+)
+
+// Rewrite applies the logical rewrites of the query rewriter: it
+// pushes filter conjuncts towards the leaves (through cross products,
+// inner joins and below graph matches) and upgrades cross products
+// with applicable equality conjuncts into inner joins. This mirrors
+// the paper's optimiser stage, where the graph join is unfolded from a
+// cross product plus graph select (§3.1) — in this engine the
+// GraphMatch over a cross-product input *is* the graph join, so the
+// rewriter's job is to keep that cross product small by pushing the
+// point-selection predicates (e.g. p1.id = ?) onto the join sides.
+func Rewrite(n Node) Node {
+	switch t := n.(type) {
+	case *Filter:
+		input := Rewrite(t.Input)
+		conjs := expr.SplitConjuncts(t.Pred, nil)
+		node, rest := pushConjuncts(input, conjs)
+		if p := expr.AndAll(rest); p != nil {
+			return &Filter{Input: node, Pred: p}
+		}
+		return node
+	case *Project:
+		t.Input = Rewrite(t.Input)
+		return t
+	case *Join:
+		t.Left = Rewrite(t.Left)
+		t.Right = Rewrite(t.Right)
+		return t
+	case *GraphMatch:
+		t.Input = Rewrite(t.Input)
+		t.Edge = Rewrite(t.Edge)
+		return t
+	case *Aggregate:
+		t.Input = Rewrite(t.Input)
+		return t
+	case *Sort:
+		t.Input = Rewrite(t.Input)
+		return t
+	case *Limit:
+		t.Input = Rewrite(t.Input)
+		return t
+	case *Distinct:
+		t.Input = Rewrite(t.Input)
+		return t
+	case *Unnest:
+		t.Input = Rewrite(t.Input)
+		return t
+	case *SetOp:
+		t.Left = Rewrite(t.Left)
+		t.Right = Rewrite(t.Right)
+		return t
+	case *Rename:
+		t.Input = Rewrite(t.Input)
+		return t
+	case *Shared:
+		t.Input = Rewrite(t.Input)
+		return t
+	}
+	return n
+}
+
+// pushConjuncts pushes the given conjuncts as deep as possible into n.
+// It returns the rewritten node and the conjuncts that could not be
+// absorbed.
+func pushConjuncts(n Node, conjs []expr.Expr) (Node, []expr.Expr) {
+	if len(conjs) == 0 {
+		return n, nil
+	}
+	switch t := n.(type) {
+	case *Filter:
+		merged := append(expr.SplitConjuncts(t.Pred, nil), conjs...)
+		return pushConjuncts(t.Input, merged)
+
+	case *Join:
+		if t.Type == JoinSemi || t.Type == JoinAnti {
+			// The output schema is the left schema, so every conjunct
+			// from above refers to left columns and can move below.
+			t.Left, conjs = pushConjuncts(t.Left, conjs)
+			if p := expr.AndAll(conjs); p != nil {
+				t.Left = &Filter{Input: t.Left, Pred: p}
+			}
+			t.Right = Rewrite(t.Right)
+			return t, nil
+		}
+		if t.Type == JoinLeft {
+			// Only conjuncts over the preserved (left) side can move
+			// below a left outer join.
+			nLeft := len(t.Left.Schema())
+			var leftC, rest []expr.Expr
+			for _, c := range conjs {
+				if maxRef(c) < nLeft && minRef(c) >= 0 {
+					leftC = append(leftC, c)
+				} else {
+					rest = append(rest, c)
+				}
+			}
+			t.Left, leftC = pushConjuncts(t.Left, leftC)
+			if p := expr.AndAll(leftC); p != nil {
+				t.Left = &Filter{Input: t.Left, Pred: p}
+			}
+			return t, rest
+		}
+		nLeft := len(t.Left.Schema())
+		var leftC, rightC, joinC, rest []expr.Expr
+		for _, c := range conjs {
+			lo, hi := minRef(c), maxRef(c)
+			switch {
+			case hi < nLeft:
+				leftC = append(leftC, c)
+			case lo >= nLeft:
+				rightC = append(rightC, expr.MapRefs(c, func(i int) int { return i - nLeft }))
+			default:
+				// Spans both sides: becomes (part of) the join
+				// condition, upgrading a cross product to an inner
+				// join.
+				joinC = append(joinC, c)
+			}
+		}
+		t.Left, leftC = pushConjuncts(t.Left, leftC)
+		if p := expr.AndAll(leftC); p != nil {
+			t.Left = &Filter{Input: t.Left, Pred: p}
+		}
+		t.Right, rightC = pushConjuncts(t.Right, rightC)
+		if p := expr.AndAll(rightC); p != nil {
+			t.Right = &Filter{Input: t.Right, Pred: p}
+		}
+		if len(joinC) > 0 {
+			if t.On != nil {
+				joinC = append(expr.SplitConjuncts(t.On, nil), joinC...)
+			}
+			t.On = expr.AndAll(joinC)
+			if t.Type == JoinCross {
+				t.Type = JoinInner
+			}
+		}
+		return t, rest
+
+	case *GraphMatch:
+		// Conjuncts over the plain input columns slide below the
+		// match; the generated cost/path columns sit at the end of the
+		// schema, so an index bound suffices.
+		nIn := len(t.Input.Schema())
+		var inC, rest []expr.Expr
+		for _, c := range conjs {
+			if maxRef(c) < nIn {
+				inC = append(inC, c)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		t.Input, inC = pushConjuncts(t.Input, inC)
+		if p := expr.AndAll(inC); p != nil {
+			t.Input = &Filter{Input: t.Input, Pred: p}
+		}
+		t.Edge = Rewrite(t.Edge)
+		return t, rest
+
+	case *Unnest:
+		// Conjuncts over the pre-unnest columns slide below; for the
+		// outer variant nothing moves (the null-extended rows would
+		// change).
+		if t.Outer {
+			return t, conjs
+		}
+		nIn := len(t.Input.Schema())
+		var inC, rest []expr.Expr
+		for _, c := range conjs {
+			if maxRef(c) < nIn {
+				inC = append(inC, c)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		t.Input, inC = pushConjuncts(t.Input, inC)
+		if p := expr.AndAll(inC); p != nil {
+			t.Input = &Filter{Input: t.Input, Pred: p}
+		}
+		return t, rest
+
+	default:
+		n = Rewrite(n)
+		return n, conjs
+	}
+}
+
+func maxRef(e expr.Expr) int {
+	m := -1
+	for _, r := range expr.Refs(e, nil) {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+func minRef(e expr.Expr) int {
+	m := 1 << 30
+	for _, r := range expr.Refs(e, nil) {
+		if r < m {
+			m = r
+		}
+	}
+	if m == 1<<30 {
+		return 0
+	}
+	return m
+}

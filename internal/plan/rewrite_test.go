@@ -1,0 +1,185 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"graphsql/internal/expr"
+	"graphsql/internal/storage"
+	"graphsql/internal/types"
+)
+
+// mkScan builds a scan over a fresh two-column table (a, b).
+func mkScan(name string) *Scan {
+	cat := storage.NewCatalog()
+	tbl, _ := cat.CreateTable(name, storage.Schema{
+		{Name: "a", Kind: types.KindInt},
+		{Name: "b", Kind: types.KindInt},
+	})
+	sch := make(storage.Schema, len(tbl.Schema))
+	for i, m := range tbl.Schema {
+		sch[i] = storage.ColMeta{Table: name, Name: m.Name, Kind: m.Kind}
+	}
+	return &Scan{Table: tbl, Alias: name, Sch: sch}
+}
+
+func cref(i int) *expr.ColRef { return &expr.ColRef{Idx: i, K: types.KindInt} }
+
+func eq(l, r expr.Expr) expr.Expr { return &expr.Cmp{Op: expr.CmpEq, L: l, R: r} }
+
+func constInt(v int64) expr.Expr { return &expr.Const{Val: types.NewInt(v)} }
+
+func TestPushdownSplitsAcrossCrossJoin(t *testing.T) {
+	left, right := mkScan("l"), mkScan("r")
+	join := &Join{Type: JoinCross, Left: left, Right: right}
+	// (l.a = 1) AND (r.a = 2) AND (l.b = r.b)
+	pred := expr.AndAll([]expr.Expr{
+		eq(cref(0), constInt(1)),
+		eq(cref(2), constInt(2)),
+		eq(cref(1), cref(3)),
+	})
+	out := Rewrite(&Filter{Input: join, Pred: pred})
+	j, ok := out.(*Join)
+	if !ok {
+		t.Fatalf("root = %T, want *Join\n%s", out, Explain(out))
+	}
+	if j.Type != JoinInner || j.On == nil {
+		t.Fatalf("cross join was not upgraded:\n%s", Explain(out))
+	}
+	lf, ok := j.Left.(*Filter)
+	if !ok {
+		t.Fatalf("left side = %T, want filter\n%s", j.Left, Explain(out))
+	}
+	if got := expr.Refs(lf.Pred, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("left filter refs = %v", got)
+	}
+	rf, ok := j.Right.(*Filter)
+	if !ok {
+		t.Fatalf("right side = %T, want filter\n%s", j.Right, Explain(out))
+	}
+	// The right-side conjunct was re-based onto the right schema.
+	if got := expr.Refs(rf.Pred, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("right filter refs = %v", got)
+	}
+}
+
+func TestPushdownThroughGraphMatch(t *testing.T) {
+	in := mkScan("t")
+	edge := mkScan("e")
+	gm := &GraphMatch{
+		Input: in, Edge: edge,
+		X: cref(0), Y: cref(1), SrcIdx: 0, DstIdx: 1,
+		Specs: []CheapestSpec{{Weight: constInt(1), CostKind: types.KindInt, CostName: "cost"}},
+		Sch: append(append(storage.Schema{}, in.Sch...),
+			storage.ColMeta{Name: "cost", Kind: types.KindInt}),
+	}
+	// One conjunct on the input column, one on the generated cost.
+	pred := expr.AndAll([]expr.Expr{
+		eq(cref(0), constInt(5)),
+		eq(cref(2), constInt(9)), // cost column
+	})
+	out := Rewrite(&Filter{Input: gm, Pred: pred})
+	top, ok := out.(*Filter)
+	if !ok {
+		t.Fatalf("cost conjunct must stay above the match:\n%s", Explain(out))
+	}
+	g, ok := top.Input.(*GraphMatch)
+	if !ok {
+		t.Fatalf("expected GraphMatch below filter:\n%s", Explain(out))
+	}
+	if _, ok := g.Input.(*Filter); !ok {
+		t.Fatalf("input conjunct must be pushed below the match:\n%s", Explain(out))
+	}
+}
+
+func TestPushdownLeftJoinOnlyPreservedSide(t *testing.T) {
+	left, right := mkScan("l"), mkScan("r")
+	join := &Join{Type: JoinLeft, Left: left, Right: right, On: eq(cref(0), cref(2))}
+	pred := expr.AndAll([]expr.Expr{
+		eq(cref(1), constInt(1)), // left-only: may push
+		eq(cref(3), constInt(2)), // right-only: must stay
+	})
+	out := Rewrite(&Filter{Input: join, Pred: pred})
+	top, ok := out.(*Filter)
+	if !ok {
+		t.Fatalf("right conjunct must stay above the left join:\n%s", Explain(out))
+	}
+	j := top.Input.(*Join)
+	if _, ok := j.Left.(*Filter); !ok {
+		t.Fatalf("left conjunct must move below:\n%s", Explain(out))
+	}
+	if _, ok := j.Right.(*Filter); ok {
+		t.Fatalf("right side of a left join must stay unfiltered:\n%s", Explain(out))
+	}
+}
+
+func TestRewriteMergesStackedFilters(t *testing.T) {
+	s := mkScan("t")
+	f := &Filter{
+		Input: &Filter{Input: s, Pred: eq(cref(0), constInt(1))},
+		Pred:  eq(cref(1), constInt(2)),
+	}
+	out := Rewrite(f)
+	top, ok := out.(*Filter)
+	if !ok {
+		t.Fatalf("root = %T", out)
+	}
+	if _, ok := top.Input.(*Scan); !ok {
+		t.Fatalf("filters were not merged:\n%s", Explain(out))
+	}
+	if len(expr.SplitConjuncts(top.Pred, nil)) != 2 {
+		t.Fatalf("merged predicate should hold both conjuncts: %s", top.Pred)
+	}
+}
+
+func TestExplainRendersTree(t *testing.T) {
+	s := mkScan("t")
+	p := &Project{Input: &Filter{Input: s, Pred: eq(cref(0), constInt(1))},
+		Exprs: []expr.Expr{cref(0)},
+		Sch:   storage.Schema{{Name: "a", Kind: types.KindInt}}}
+	out := Explain(p)
+	for _, want := range []string{"Project", "Filter", "Scan t"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSchemasOfComposedNodes(t *testing.T) {
+	l, r := mkScan("l"), mkScan("r")
+	j := &Join{Type: JoinCross, Left: l, Right: r}
+	if len(j.Schema()) != 4 {
+		t.Fatalf("join schema = %v", j.Schema())
+	}
+	srt := &Sort{Input: j}
+	if len(srt.Schema()) != 4 {
+		t.Fatal("sort must preserve schema")
+	}
+	d := &Distinct{Input: srt}
+	if len(d.Schema()) != 4 {
+		t.Fatal("distinct must preserve schema")
+	}
+	lim := &Limit{Input: d}
+	if len(lim.Schema()) != 4 {
+		t.Fatal("limit must preserve schema")
+	}
+	so := &SetOp{Op: "UNION", Left: l, Right: r}
+	if len(so.Schema()) != 2 {
+		t.Fatal("set op exposes the left schema")
+	}
+}
+
+func TestConstantConjunctLandsOnLeaf(t *testing.T) {
+	l, r := mkScan("l"), mkScan("r")
+	join := &Join{Type: JoinCross, Left: l, Right: r}
+	pred := eq(constInt(1), constInt(1)) // no column refs
+	out := Rewrite(&Filter{Input: join, Pred: pred})
+	// The conjunct sinks to the left leaf; semantics are unchanged.
+	j, ok := out.(*Join)
+	if !ok {
+		t.Fatalf("root = %T:\n%s", out, Explain(out))
+	}
+	if _, ok := j.Left.(*Filter); !ok {
+		t.Fatalf("constant conjunct should sink left:\n%s", Explain(out))
+	}
+}

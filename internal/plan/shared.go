@@ -1,0 +1,36 @@
+package plan
+
+import "graphsql/internal/storage"
+
+// Rename is a zero-cost schema relabeling: it exposes its input under
+// a new qualifier (derived-table and CTE aliases).
+type Rename struct {
+	Input Node
+	Sch   storage.Schema
+}
+
+// Schema implements Node.
+func (r *Rename) Schema() storage.Schema { return r.Sch }
+
+// Children implements Node.
+func (r *Rename) Children() []Node { return []Node{r.Input} }
+
+// Describe implements Node.
+func (r *Rename) Describe() string { return "Rename" }
+
+// Shared marks a subplan referenced from several places (a CTE body);
+// the executor materializes it once per execution and reuses the
+// chunk.
+type Shared struct {
+	Input Node
+	Name  string
+}
+
+// Schema implements Node.
+func (s *Shared) Schema() storage.Schema { return s.Input.Schema() }
+
+// Children implements Node.
+func (s *Shared) Children() []Node { return []Node{s.Input} }
+
+// Describe implements Node.
+func (s *Shared) Describe() string { return "Shared " + s.Name }

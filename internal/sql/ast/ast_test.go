@@ -1,0 +1,51 @@
+package ast
+
+import "testing"
+
+func TestJoinTypeString(t *testing.T) {
+	cases := map[JoinType]string{
+		JoinCross: "CROSS",
+		JoinInner: "INNER",
+		JoinLeft:  "LEFT",
+	}
+	for jt, want := range cases {
+		if jt.String() != want {
+			t.Errorf("%d.String() = %q, want %q", jt, jt.String(), want)
+		}
+	}
+}
+
+func TestIdentString(t *testing.T) {
+	id := &Ident{Parts: []string{"t", "col"}}
+	if id.String() != "t.col" {
+		t.Fatalf("ident = %q", id.String())
+	}
+	bare := &Ident{Parts: []string{"x"}}
+	if bare.String() != "x" {
+		t.Fatalf("ident = %q", bare.String())
+	}
+}
+
+// TestNodeInterfaces pins every AST node to its interface; a node that
+// loses its marker method breaks compilation here rather than at a
+// use site.
+func TestNodeInterfaces(t *testing.T) {
+	stmts := []Statement{
+		&SelectStmt{}, &CreateTableStmt{}, &InsertStmt{}, &DropTableStmt{}, &DeleteStmt{},
+	}
+	exprs := []Expr{
+		&Ident{}, &NumberLit{}, &StringLit{}, &BoolLit{}, &NullLit{},
+		&ParamExpr{}, &BinaryExpr{}, &UnaryExpr{}, &IsNullExpr{},
+		&InExpr{}, &InSubquery{}, &ExistsExpr{}, &BetweenExpr{},
+		&LikeExpr{}, &CaseExpr{}, &CastExpr{}, &FuncCall{},
+		&ReachesExpr{}, &CheapestSum{},
+	}
+	tables := []TableExpr{
+		&TableRef{}, &SubqueryRef{}, &JoinExpr{}, &UnnestRef{},
+	}
+	if len(stmts) != 5 || len(exprs) != 19 || len(tables) != 4 {
+		t.Fatal("inventory drifted")
+	}
+	bodies := []QueryBody{&SelectCore{}, &SetOp{}}
+	_ = bodies
+}

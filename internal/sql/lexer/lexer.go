@@ -1,0 +1,325 @@
+// Package lexer tokenizes the engine's SQL dialect, including the
+// keywords the paper adds to the language: REACHES, OVER, EDGE,
+// CHEAPEST and UNNEST (§3.1 "the terms ... are now treated as keywords
+// in the language").
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenType classifies lexical tokens.
+type TokenType uint8
+
+const (
+	// EOF marks the end of the input.
+	EOF TokenType = iota
+	// Ident is an identifier (possibly double-quoted).
+	Ident
+	// Number is an integer or decimal literal.
+	Number
+	// String is a single-quoted string literal.
+	String
+	// Param is the positional host parameter '?'.
+	Param
+	// Keyword is a reserved word; Tok.Text is its upper-case form.
+	Keyword
+	// Symbol is an operator or punctuation token.
+	Symbol
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Type TokenType
+	// Text is the token text. Keywords are upper-cased; quoted
+	// identifiers are unquoted; string literals are unescaped.
+	Text string
+	// Pos is the byte offset in the input, Line/Col are 1-based.
+	Pos, Line, Col int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Type {
+	case EOF:
+		return "end of input"
+	case String:
+		return fmt.Sprintf("'%s'", t.Text)
+	case Param:
+		return "?"
+	default:
+		return t.Text
+	}
+}
+
+// keywords is the reserved-word set. The five terms the paper adds are
+// flagged in the comment.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "IS": true, "NULL": true,
+	"LIKE": true, "BETWEEN": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "CAST": true, "CREATE": true, "TABLE": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "WITH": true, "JOIN": true,
+	"LEFT": true, "RIGHT": true, "FULL": true, "INNER": true, "OUTER": true,
+	"CROSS": true, "ON": true, "USING": true, "DISTINCT": true, "ALL": true,
+	"UNION": true, "EXCEPT": true, "INTERSECT": true, "ASC": true, "DESC": true,
+	"TRUE": true, "FALSE": true, "EXISTS": true, "DROP": true, "DELETE": true,
+	"PRIMARY": true, "KEY": true, "DEFAULT": true, "LATERAL": true,
+	"ORDINALITY": true, "NULLS": true, "FIRST": true, "LAST": true,
+	// Graph extension keywords (paper §2, §3.1):
+	"REACHES": true, "OVER": true, "EDGE": true, "CHEAPEST": true, "UNNEST": true,
+	// Type names:
+	"INT": true, "INTEGER": true, "BIGINT": true, "SMALLINT": true,
+	"DOUBLE": true, "FLOAT": true, "REAL": true, "PRECISION": true,
+	"VARCHAR": true, "TEXT": true, "CHAR": true, "STRING": true,
+	"BOOLEAN": true, "BOOL": true, "DATE": true,
+}
+
+// IsKeyword reports whether the upper-cased word is reserved.
+func IsKeyword(word string) bool { return keywords[strings.ToUpper(word)] }
+
+// Lexer scans SQL text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a lexical error with position information.
+type Error struct {
+	Msg       string
+	Line, Col int
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("syntax error at line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *Lexer) errorf(format string, args ...interface{}) error {
+	return &Error{Msg: fmt.Sprintf(format, args...), Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	ch := l.src[l.pos]
+	l.pos++
+	if ch == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return ch
+}
+
+// skipSpaceAndComments consumes whitespace, -- line comments and
+// /* */ block comments.
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		ch := l.peek()
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n':
+			l.advance()
+		case ch == '-' && l.peekAt(1) == '-':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case ch == '/' && l.peekAt(1) == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start, line, col := l.pos, l.line, l.col
+	mk := func(tt TokenType, text string) Token {
+		return Token{Type: tt, Text: text, Pos: start, Line: line, Col: col}
+	}
+	if l.pos >= len(l.src) {
+		return mk(EOF, ""), nil
+	}
+	ch := l.peek()
+	switch {
+	case isIdentStart(ch):
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		if up := strings.ToUpper(word); keywords[up] {
+			return mk(Keyword, up), nil
+		}
+		return mk(Ident, word), nil
+	case ch >= '0' && ch <= '9', ch == '.' && isDigit(l.peekAt(1)):
+		return l.lexNumber(mk)
+	case ch == '\'':
+		return l.lexString(mk)
+	case ch == '"':
+		return l.lexQuotedIdent(mk)
+	case ch == '?':
+		l.advance()
+		return mk(Param, "?"), nil
+	}
+	// Multi-byte symbols first.
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=", "||":
+		l.advance()
+		l.advance()
+		if two == "!=" {
+			two = "<>"
+		}
+		return mk(Symbol, two), nil
+	}
+	switch ch {
+	case '+', '-', '*', '/', '%', '=', '<', '>', '(', ')', ',', '.', ';', ':':
+		l.advance()
+		return mk(Symbol, string(ch)), nil
+	}
+	return Token{}, l.errorf("unexpected character %q", string(rune(ch)))
+}
+
+func (l *Lexer) lexNumber(mk func(TokenType, string) Token) (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peekAt(1)) {
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	} else if l.peek() == '.' && !isIdentStart(l.peekAt(1)) {
+		// trailing dot as in "1." — accept
+		l.advance()
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.pos
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if !isDigit(l.peek()) {
+			l.pos = save // not an exponent after all
+		} else {
+			for l.pos < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+	}
+	return mk(Number, l.src[start:l.pos]), nil
+}
+
+func (l *Lexer) lexString(mk func(TokenType, string) Token) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, l.errorf("unterminated string literal")
+		}
+		ch := l.advance()
+		if ch == '\'' {
+			if l.peek() == '\'' { // doubled quote escape
+				l.advance()
+				b.WriteByte('\'')
+				continue
+			}
+			return mk(String, b.String()), nil
+		}
+		b.WriteByte(ch)
+	}
+}
+
+func (l *Lexer) lexQuotedIdent(mk func(TokenType, string) Token) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, l.errorf("unterminated quoted identifier")
+		}
+		ch := l.advance()
+		if ch == '"' {
+			if l.peek() == '"' {
+				l.advance()
+				b.WriteByte('"')
+				continue
+			}
+			if b.Len() == 0 {
+				return Token{}, l.errorf("empty quoted identifier")
+			}
+			return mk(Ident, b.String()), nil
+		}
+		b.WriteByte(ch)
+	}
+}
+
+func isIdentStart(ch byte) bool {
+	return ch == '_' || unicode.IsLetter(rune(ch))
+}
+
+func isIdentPart(ch byte) bool {
+	return ch == '_' || ch == '$' || unicode.IsLetter(rune(ch)) || isDigit(ch)
+}
+
+func isDigit(ch byte) bool { return ch >= '0' && ch <= '9' }
+
+// Tokenize scans the whole input (convenience for tests and the parser).
+func Tokenize(src string) ([]Token, error) {
+	l := New(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Type == EOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package storage implements the columnar physical layer: typed column
+// vectors with null masks, materialized chunks (intermediate results),
+// base tables and the catalog. The engine follows the MonetDB execution
+// model the paper builds on: every operator fully materializes its
+// result (paper §3.3).
+package storage
+
+import (
+	"fmt"
+
+	"graphsql/internal/types"
+)
+
+// Column is a typed vector of values with an optional null mask.
+// Exactly one payload slice is in use, selected by Kind.
+type Column struct {
+	Kind types.Kind
+	// Ints backs KindBool (0/1), KindInt and KindDate.
+	Ints []int64
+	// Floats backs KindFloat.
+	Floats []float64
+	// Strs backs KindString.
+	Strs []string
+	// Paths backs KindPath.
+	Paths []*types.Path
+	// Nulls marks NULL entries; nil means the column has no NULLs.
+	Nulls []bool
+	n     int
+}
+
+// NewColumn returns an empty column of the given kind with capacity cap.
+func NewColumn(kind types.Kind, capacity int) *Column {
+	c := &Column{Kind: kind}
+	switch kind {
+	case types.KindFloat:
+		c.Floats = make([]float64, 0, capacity)
+	case types.KindString:
+		c.Strs = make([]string, 0, capacity)
+	case types.KindPath:
+		c.Paths = make([]*types.Path, 0, capacity)
+	default:
+		c.Ints = make([]int64, 0, capacity)
+	}
+	return c
+}
+
+// Len returns the number of entries in the column.
+func (c *Column) Len() int { return c.n }
+
+// HasNulls reports whether any entry is NULL.
+func (c *Column) HasNulls() bool {
+	if c.Nulls == nil {
+		return false
+	}
+	for _, b := range c.Nulls {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// IsNull reports whether entry i is NULL.
+func (c *Column) IsNull(i int) bool { return c.Nulls != nil && c.Nulls[i] }
+
+// ensureNulls materializes the null mask.
+func (c *Column) ensureNulls() {
+	if c.Nulls == nil {
+		c.Nulls = make([]bool, c.n, max(c.n, 8))
+	}
+}
+
+// Append adds a value to the column, converting NULL-kind values into
+// typed NULLs. The value kind must match the column kind (ints widen to
+// floats automatically).
+func (c *Column) Append(v types.Value) {
+	if v.Null {
+		c.AppendNull()
+		return
+	}
+	switch c.Kind {
+	case types.KindFloat:
+		c.Floats = append(c.Floats, v.AsFloat())
+	case types.KindString:
+		c.Strs = append(c.Strs, v.S)
+	case types.KindPath:
+		c.Paths = append(c.Paths, v.P)
+	default:
+		c.Ints = append(c.Ints, v.I)
+	}
+	if c.Nulls != nil {
+		c.Nulls = append(c.Nulls, false)
+	}
+	c.n++
+}
+
+// AppendNull adds a NULL entry.
+func (c *Column) AppendNull() {
+	c.ensureNulls()
+	switch c.Kind {
+	case types.KindFloat:
+		c.Floats = append(c.Floats, 0)
+	case types.KindString:
+		c.Strs = append(c.Strs, "")
+	case types.KindPath:
+		c.Paths = append(c.Paths, nil)
+	default:
+		c.Ints = append(c.Ints, 0)
+	}
+	c.Nulls = append(c.Nulls, true)
+	c.n++
+}
+
+// AppendInt adds a non-NULL integer-backed entry without boxing.
+func (c *Column) AppendInt(i int64) {
+	c.Ints = append(c.Ints, i)
+	if c.Nulls != nil {
+		c.Nulls = append(c.Nulls, false)
+	}
+	c.n++
+}
+
+// AppendFloat adds a non-NULL float entry without boxing.
+func (c *Column) AppendFloat(f float64) {
+	c.Floats = append(c.Floats, f)
+	if c.Nulls != nil {
+		c.Nulls = append(c.Nulls, false)
+	}
+	c.n++
+}
+
+// AppendString adds a non-NULL string entry without boxing.
+func (c *Column) AppendString(s string) {
+	c.Strs = append(c.Strs, s)
+	if c.Nulls != nil {
+		c.Nulls = append(c.Nulls, false)
+	}
+	c.n++
+}
+
+// AppendPath adds a non-NULL path entry without boxing.
+func (c *Column) AppendPath(p *types.Path) {
+	c.Paths = append(c.Paths, p)
+	if c.Nulls != nil {
+		c.Nulls = append(c.Nulls, false)
+	}
+	c.n++
+}
+
+// Get returns entry i as a boxed value.
+func (c *Column) Get(i int) types.Value {
+	if c.IsNull(i) {
+		return types.NewNull(c.Kind)
+	}
+	switch c.Kind {
+	case types.KindFloat:
+		return types.NewFloat(c.Floats[i])
+	case types.KindString:
+		return types.NewString(c.Strs[i])
+	case types.KindPath:
+		return types.NewPath(c.Paths[i])
+	case types.KindBool:
+		return types.NewBool(c.Ints[i] != 0)
+	case types.KindDate:
+		return types.NewDate(c.Ints[i])
+	default:
+		return types.NewInt(c.Ints[i])
+	}
+}
+
+// Gather returns a new column holding the entries of c at the given
+// row indices, in order.
+func (c *Column) Gather(rows []int) *Column {
+	out := NewColumn(c.Kind, len(rows))
+	switch c.Kind {
+	case types.KindFloat:
+		for _, r := range rows {
+			out.Floats = append(out.Floats, c.Floats[r])
+		}
+	case types.KindString:
+		for _, r := range rows {
+			out.Strs = append(out.Strs, c.Strs[r])
+		}
+	case types.KindPath:
+		for _, r := range rows {
+			out.Paths = append(out.Paths, c.Paths[r])
+		}
+	default:
+		for _, r := range rows {
+			out.Ints = append(out.Ints, c.Ints[r])
+		}
+	}
+	out.n = len(rows)
+	if c.Nulls != nil {
+		out.Nulls = make([]bool, len(rows))
+		for i, r := range rows {
+			out.Nulls[i] = c.Nulls[r]
+		}
+	}
+	return out
+}
+
+// Slice returns a copy of entries [lo, hi).
+func (c *Column) Slice(lo, hi int) *Column {
+	rows := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		rows = append(rows, i)
+	}
+	return c.Gather(rows)
+}
+
+// ConstColumn builds a column of n copies of value v.
+func ConstColumn(v types.Value, n int) *Column {
+	kind := v.K
+	if kind == types.KindNull {
+		kind = types.KindInt
+	}
+	c := NewColumn(kind, n)
+	for i := 0; i < n; i++ {
+		c.Append(v)
+	}
+	return c
+}
+
+// Validate checks internal consistency; used by tests and debug builds.
+func (c *Column) Validate() error {
+	want := c.n
+	var got int
+	switch c.Kind {
+	case types.KindFloat:
+		got = len(c.Floats)
+	case types.KindString:
+		got = len(c.Strs)
+	case types.KindPath:
+		got = len(c.Paths)
+	default:
+		got = len(c.Ints)
+	}
+	if got != want {
+		return fmt.Errorf("column kind %v: payload len %d != n %d", c.Kind, got, want)
+	}
+	if c.Nulls != nil && len(c.Nulls) != want {
+		return fmt.Errorf("column kind %v: null mask len %d != n %d", c.Kind, len(c.Nulls), want)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,189 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindBool: "BOOLEAN", KindInt: "BIGINT",
+		KindFloat: "DOUBLE", KindString: "VARCHAR", KindDate: "DATE",
+		KindPath: "NESTED TABLE",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !KindInt.Numeric() || !KindFloat.Numeric() {
+		t.Error("int/float must be numeric")
+	}
+	if KindString.Numeric() || KindDate.Numeric() || KindPath.Numeric() {
+		t.Error("string/date/path must not be numeric")
+	}
+	for _, k := range []Kind{KindBool, KindInt, KindFloat, KindString, KindDate} {
+		if !k.Comparable() {
+			t.Errorf("%v must be comparable", k)
+		}
+	}
+	if KindPath.Comparable() || KindNull.Comparable() {
+		t.Error("path/null must not be comparable")
+	}
+}
+
+func TestValueConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt(42), "42"},
+		{NewInt(-7), "-7"},
+		{NewFloat(1.5), "1.5"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewString("hi"), "hi"},
+		{NewNull(KindInt), "NULL"},
+		{NewDate(0), "1970-01-01"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestParseAndFormatDate(t *testing.T) {
+	d, err := ParseDate("2011-01-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatDate(d) != "2011-01-01" {
+		t.Fatalf("round-trip failed: %s", FormatDate(d))
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Fatal("expected error for malformed date")
+	}
+	if _, err := ParseDate("2011-13-45"); err == nil {
+		t.Fatal("expected error for invalid date")
+	}
+}
+
+func TestPropertyDateRoundTrip(t *testing.T) {
+	f := func(days uint16) bool {
+		d := int64(days)
+		back, err := ParseDate(FormatDate(d))
+		return err == nil && back == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewInt(2), -1},
+		{NewInt(2), NewFloat(1.5), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewBool(false), NewBool(true), -1},
+		{NewDate(10), NewDate(20), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPropertyCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(NewInt(a), NewInt(b)) == -Compare(NewInt(b), NewInt(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if !Equal(NewNull(KindInt), NewNull(KindString)) {
+		t.Error("NULLs group together")
+	}
+	if Equal(NewNull(KindInt), NewInt(0)) {
+		t.Error("NULL != 0")
+	}
+	if !Equal(NewInt(5), NewInt(5)) || Equal(NewInt(5), NewInt(6)) {
+		t.Error("int equality broken")
+	}
+	// Numeric cross-kind equality.
+	if !Equal(NewInt(2), NewFloat(2.0)) {
+		t.Error("2 must equal 2.0")
+	}
+}
+
+func TestCommonKind(t *testing.T) {
+	cases := []struct {
+		a, b Kind
+		want Kind
+		ok   bool
+	}{
+		{KindInt, KindInt, KindInt, true},
+		{KindInt, KindFloat, KindFloat, true},
+		{KindFloat, KindInt, KindFloat, true},
+		{KindNull, KindString, KindString, true},
+		{KindDate, KindNull, KindDate, true},
+		{KindString, KindInt, KindNull, false},
+		{KindBool, KindDate, KindNull, false},
+	}
+	for _, c := range cases {
+		got, ok := CommonKind(c.a, c.b)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("CommonKind(%v, %v) = (%v, %v), want (%v, %v)", c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestPathLenAndString(t *testing.T) {
+	var nilPath *Path
+	if nilPath.Len() != 0 {
+		t.Error("nil path has length 0")
+	}
+	empty := &Path{Cols: []string{"s", "d"}, Kinds: []Kind{KindInt, KindInt}}
+	if empty.Len() != 0 || empty.String() != "[]" {
+		t.Errorf("empty path: len=%d str=%q", empty.Len(), empty.String())
+	}
+	p := &Path{
+		Cols:  []string{"s", "d"},
+		Kinds: []Kind{KindInt, KindInt},
+		Rows: [][]Value{
+			{NewInt(1), NewInt(2)},
+			{NewInt(2), NewInt(3)},
+		},
+	}
+	if p.Len() != 2 {
+		t.Errorf("len = %d, want 2", p.Len())
+	}
+	if got := p.String(); got != "[(1, 2); (2, 3)]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if NewInt(3).AsFloat() != 3.0 {
+		t.Error("int widening failed")
+	}
+	if NewFloat(2.5).AsFloat() != 2.5 {
+		t.Error("float identity failed")
+	}
+	if NewBool(true).AsFloat() != 1.0 {
+		t.Error("bool widening failed")
+	}
+}
