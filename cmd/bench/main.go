@@ -35,12 +35,14 @@ func parseInts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1 | fig1a | fig1b | baselines | phases | queues | dynindex | all")
+	exp := flag.String("exp", "all", "experiment: table1 | fig1a | fig1b | baselines | phases | queues | dynindex | parallel | all")
 	sfs := flag.String("sf", "1,3,10", "comma-separated scale factors")
 	shrink := flag.Int("shrink", 10, "divide dataset sizes by this factor (1 = paper size)")
 	pairs := flag.Int("pairs", 20, "random pairs per configuration")
 	batches := flag.String("batches", "1,2,4,8,16,32,64,128", "figure 1b batch sizes")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	workers := flag.String("workers", "", "comma-separated worker counts for -exp parallel (default 1,2,4,…,GOMAXPROCS); a single value also sets the engine parallelism of the other experiments")
+	jsonPath := flag.String("json", "", "write machine-readable JSON results of -exp parallel to this file")
 	flag.Parse()
 
 	sfList, err := parseInts(*sfs)
@@ -53,13 +55,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	workerList, err := parseInts(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	o := bench.Options{
 		SFs:        sfList,
 		Shrink:     *shrink,
 		Pairs:      *pairs,
 		BatchSizes: batchList,
 		Seed:       *seed,
+		Workers:    workerList,
 		Out:        os.Stdout,
+	}
+	if len(workerList) == 1 {
+		o.Parallelism = workerList[0]
+	}
+	if *jsonPath != "" {
+		if *exp != "all" && *exp != "parallel" {
+			fmt.Fprintf(os.Stderr, "-json is only produced by -exp parallel (or all), not %q\n", *exp)
+			os.Exit(2)
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		o.JSONOut = f
 	}
 
 	run := func(name string, f func(bench.Options) error) {
@@ -79,4 +103,5 @@ func main() {
 	run("phases", bench.Phases)
 	run("queues", bench.DijkstraQueues)
 	run("dynindex", bench.DynamicIndex)
+	run("parallel", bench.Parallel)
 }

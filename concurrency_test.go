@@ -1,0 +1,142 @@
+package graphsql
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// concurrencyDB builds a DB with a two-lane ladder graph: lane A is
+// the chain 0→1→…→n-1 with weight 2 per hop, lane B adds shortcuts
+// i→i+2 with weight 5. Shortest hop-count and weighted costs are
+// closed-form, so every goroutine can verify its own answers.
+func concurrencyDB(t *testing.T, n int, opts ...Option) *DB {
+	t.Helper()
+	db := Open(opts...)
+	db.MustExec(`CREATE TABLE roads (src BIGINT, dst BIGINT, w BIGINT)`)
+	var b strings.Builder
+	b.WriteString(`INSERT INTO roads VALUES `)
+	first := true
+	row := func(s, d, w int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "(%d, %d, %d)", s, d, w)
+	}
+	for i := 0; i < n-1; i++ {
+		row(i, i+1, 2)
+	}
+	for i := 0; i < n-2; i++ {
+		row(i, i+2, 5)
+	}
+	db.MustExec(b.String())
+	return db
+}
+
+// TestConcurrentQueries issues read-only shortest-path and relational
+// queries from many goroutines against one DB. Run under -race it
+// checks the facade's locking and the runtime's worker pool compose
+// safely; each goroutine also verifies the closed-form answers.
+func TestConcurrentQueries(t *testing.T) {
+	const n = 64
+	db := concurrencyDB(t, n, WithParallelism(4))
+	const goroutines = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				src := (g*7 + it) % (n - 1)
+				dst := n - 1
+				// Shortcuts cover two chain steps per hop, so the
+				// fewest hops is ceil(distance / 2); the cheapest
+				// weighted route is the chain at 2 per step.
+				dist := int64(dst - src)
+				hops := (dist + 1) / 2
+				got, err := db.QueryScalar(
+					`SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER roads EDGE (src, dst)`,
+					src, dst)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.(int64) != hops {
+					errs <- fmt.Errorf("goroutine %d: hops(%d,%d) = %v, want %d", g, src, dst, got, hops)
+					return
+				}
+				// Weighted: a shortcut costs 5 for two chain steps
+				// that cost 4, so the chain is always cheapest.
+				got, err = db.QueryScalar(
+					`SELECT CHEAPEST SUM(r: w) WHERE ? REACHES ? OVER roads r EDGE (src, dst)`,
+					src, dst)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.(int64) != 2*dist {
+					errs <- fmt.Errorf("goroutine %d: cost(%d,%d) = %v, want %d", g, src, dst, got, 2*dist)
+					return
+				}
+				// A plain relational query interleaved with the graph
+				// ones.
+				cnt, err := db.QueryScalar(`SELECT COUNT(*) FROM roads WHERE src < ?`, src)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if cnt.(int64) < int64(src) {
+					errs <- fmt.Errorf("goroutine %d: count %v too small", g, cnt)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentQueriesWithGraphIndex repeats the mixed workload over
+// a prebuilt dynamic graph index, the other read path of the engine.
+func TestConcurrentQueriesWithGraphIndex(t *testing.T) {
+	const n = 48
+	db := concurrencyDB(t, n)
+	if err := db.BuildGraphIndex("roads", "src", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 20; it++ {
+				src := (g*5 + it) % (n - 1)
+				got, err := db.QueryScalar(
+					`SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER roads EDGE (src, dst)`,
+					src, n-1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := (int64(n-1-src) + 1) / 2
+				if got.(int64) != want {
+					errs <- fmt.Errorf("goroutine %d: got %v, want %d", g, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

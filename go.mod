@@ -1,0 +1,3 @@
+module graphsql
+
+go 1.24

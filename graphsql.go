@@ -16,6 +16,23 @@
 // The dialect supports standard SELECT blocks (joins, WITH CTEs, GROUP
 // BY/HAVING, ORDER BY/LIMIT, set operations, derived tables), CREATE
 // TABLE / INSERT / DELETE / DROP, and positional ? host parameters.
+//
+// # Parallelism
+//
+// The shortest-path runtime is multi-core: batched many-to-many
+// queries drain their per-source traversals over a worker pool, and
+// graph construction (dictionary encoding and CSR building) runs
+// chunked across workers. The default budget is one worker per CPU;
+// WithParallelism overrides it:
+//
+//	db := graphsql.Open(graphsql.WithParallelism(4)) // cap at 4 workers
+//	db := graphsql.Open(graphsql.WithParallelism(1)) // force sequential
+//
+// Results are bit-identical at every setting — parallel execution only
+// partitions independent work (per-source traversals, edge chunks),
+// it never reorders the computation inside one unit. Small inputs take
+// a sequential fast path regardless, so point queries pay no goroutine
+// overhead.
 package graphsql
 
 import (
@@ -36,9 +53,23 @@ type DB struct {
 	eng *engine.Engine
 }
 
+// Option configures a DB at Open time.
+type Option func(*DB)
+
+// WithParallelism caps the worker count of the shortest-path runtime:
+// 1 forces sequential execution, n > 1 caps the pool, 0 (the default)
+// uses one worker per CPU. Query results are identical at any setting.
+func WithParallelism(n int) Option {
+	return func(db *DB) { db.eng.SetParallelism(n) }
+}
+
 // Open creates an empty database.
-func Open() *DB {
-	return &DB{eng: engine.New()}
+func Open(opts ...Option) *DB {
+	db := &DB{eng: engine.New()}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
 }
 
 // Path is the client-side representation of a nested-table shortest

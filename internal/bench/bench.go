@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"graphsql/internal/baseline"
@@ -34,8 +35,17 @@ type Options struct {
 	BatchSizes []int
 	// Seed fixes the workload.
 	Seed uint64
+	// Workers are the worker counts swept by the parallel experiment.
+	// Default: 1, 2, 4, … up to GOMAXPROCS.
+	Workers []int
+	// Parallelism sets the engine worker budget for the non-sweep
+	// experiments (0 = one worker per CPU).
+	Parallelism int
 	// Out receives the report.
 	Out io.Writer
+	// JSONOut, when non-nil, additionally receives machine-readable
+	// results from experiments that emit them (currently parallel).
+	JSONOut io.Writer
 }
 
 // Defaults fills unset fields with laptop-friendly values.
@@ -54,6 +64,13 @@ func (o *Options) Defaults() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 42
+	}
+	if len(o.Workers) == 0 {
+		p := runtime.GOMAXPROCS(0)
+		for w := 1; w < p; w *= 2 {
+			o.Workers = append(o.Workers, w)
+		}
+		o.Workers = append(o.Workers, p)
 	}
 }
 
@@ -124,6 +141,7 @@ func Fig1a(o Options) error {
 		if err != nil {
 			return err
 		}
+		e.SetParallelism(o.Parallelism)
 		src, dst := ds.RandomPairs(o.Pairs, o.Seed+uint64(sf))
 		// Warm up once so first-use allocation noise drops out.
 		if _, err := e.Query(Q13, types.NewInt(src[0]), types.NewInt(dst[0])); err != nil {
@@ -159,6 +177,7 @@ func Fig1b(o Options) error {
 		if err != nil {
 			return err
 		}
+		e.SetParallelism(o.Parallelism)
 		fmt.Fprintf(o.Out, "%-6d", sf)
 		for _, b := range o.BatchSizes {
 			perPair, err := RunBatch(e, ds, b, o.Seed)
@@ -209,6 +228,7 @@ func Baselines(o Options) error {
 	if err != nil {
 		return err
 	}
+	e.SetParallelism(o.Parallelism)
 	n := o.Pairs
 	if n > 10 {
 		n = 10 // the folk methods are slow by design
@@ -262,10 +282,11 @@ func Phases(o Options) error {
 		if err != nil {
 			return err
 		}
+		e.SetParallelism(o.Parallelism)
 		friends, _ := e.Catalog().Table("friends")
 		// Phase 1: CSR construction from the edge chunk.
 		start := time.Now()
-		pg, err := core.BuildGraph(friends.Chunk(), 0, 1)
+		pg, err := core.BuildGraphP(friends.Chunk(), 0, 1, o.Parallelism)
 		if err != nil {
 			return err
 		}
@@ -309,7 +330,7 @@ func DijkstraQueues(o Options) error {
 		if err != nil {
 			return err
 		}
-		radix, binheap, err := RunQueueAblation(ds, o.Pairs, o.Seed)
+		radix, binheap, err := RunQueueAblation(ds, o.Pairs, o.Seed, o.Parallelism)
 		if err != nil {
 			return err
 		}
@@ -321,7 +342,8 @@ func DijkstraQueues(o Options) error {
 
 // RunQueueAblation times batched integer-weight Dijkstra with both
 // priority queues over the same pairs, at the runtime level (no SQL).
-func RunQueueAblation(ds *ldbc.Dataset, pairs int, seed uint64) (radix, binheap time.Duration, err error) {
+// parallelism caps the solver workers (0 = one per CPU).
+func RunQueueAblation(ds *ldbc.Dataset, pairs int, seed uint64, parallelism int) (radix, binheap time.Duration, err error) {
 	g, weights, dict := BuildRuntimeGraph(ds)
 	srcIDs, dstIDs := ds.RandomPairs(pairs, seed)
 	srcs := make([]graph.VertexID, pairs)
@@ -332,6 +354,7 @@ func RunQueueAblation(ds *ldbc.Dataset, pairs int, seed uint64) (radix, binheap 
 	}
 	run := func(force bool) (time.Duration, error) {
 		solver := graph.NewSolver(g)
+		solver.Parallelism = parallelism
 		spec := graph.Spec{WeightsI: weights, ForceBinaryHeap: force}
 		start := time.Now()
 		if _, err := solver.Solve(srcs, dsts, []graph.Spec{spec}); err != nil {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -46,6 +47,7 @@ func TestExperimentsRunEndToEnd(t *testing.T) {
 		{"baselines", Baselines, []string{"native REACHES", "recursive CTE", "PSM", "self-join"}},
 		{"phases", Phases, []string{"build (s)", "solve (s)", "indexed"}},
 		{"queues", DijkstraQueues, []string{"radix", "binheap"}},
+		{"parallel", Parallel, []string{"Parallel scalability", "workers", "speedup"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -62,6 +64,33 @@ func TestExperimentsRunEndToEnd(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestParallelEmitsJSON checks the machine-readable output contract
+// of the scalability experiment: a JSON array with one point per
+// (SF, workers) pair and the stable field names tooling keys on.
+func TestParallelEmitsJSON(t *testing.T) {
+	var out, jsonBuf bytes.Buffer
+	o := Options{SFs: []int{1}, Shrink: 100, Pairs: 2, BatchSizes: []int{1, 8},
+		Seed: 1, Workers: []int{1, 2}, Out: &out, JSONOut: &jsonBuf}
+	if err := Parallel(o); err != nil {
+		t.Fatal(err)
+	}
+	var points []ParallelPoint
+	if err := json.Unmarshal(jsonBuf.Bytes(), &points); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, jsonBuf.String())
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	for i, p := range points {
+		if p.SF != 1 || p.Batch != 8 || p.Workers != o.Workers[i] {
+			t.Fatalf("point %d malformed: %+v", i, p)
+		}
+		if p.QuerySeconds <= 0 || p.Speedup <= 0 {
+			t.Fatalf("point %d missing timings: %+v", i, p)
+		}
 	}
 }
 
@@ -156,7 +185,7 @@ func TestBuildRuntimeGraphShape(t *testing.T) {
 
 func TestRunQueueAblationAgreement(t *testing.T) {
 	ds, _ := Setup2(t)
-	if _, _, err := RunQueueAblation(ds, 4, 5); err != nil {
+	if _, _, err := RunQueueAblation(ds, 4, 5, 0); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -35,9 +35,17 @@ type DynamicGraph struct {
 	RebuildFraction float64
 }
 
-// NewDynamicGraph builds the initial snapshot from the table chunk.
+// NewDynamicGraph builds the initial snapshot from the table chunk
+// with the default parallelism.
 func NewDynamicGraph(edges *storage.Chunk, srcIdx, dstIdx int) (*DynamicGraph, error) {
-	pg, err := BuildGraph(edges, srcIdx, dstIdx)
+	return NewDynamicGraphP(edges, srcIdx, dstIdx, 0)
+}
+
+// NewDynamicGraphP is NewDynamicGraph with an explicit parallelism,
+// inherited by snapshot rebuilds and solvers (<= 0 means one worker
+// per CPU).
+func NewDynamicGraphP(edges *storage.Chunk, srcIdx, dstIdx, parallelism int) (*DynamicGraph, error) {
+	pg, err := BuildGraphP(edges, srcIdx, dstIdx, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +94,7 @@ func (dg *DynamicGraph) Refresh(current *storage.Chunk) (rebuilt bool, err error
 	}
 	newEdges := n - dg.appliedRows
 	if dg.DeltaEdges()+newEdges > dg.rebuildThreshold() {
-		pg, err := BuildGraph(current, dg.pg.SrcIdx, dg.pg.DstIdx)
+		pg, err := BuildGraphP(current, dg.pg.SrcIdx, dg.pg.DstIdx, dg.pg.Parallelism)
 		if err != nil {
 			return false, err
 		}
@@ -157,7 +165,9 @@ func ownEdgesChunk(pg *PreparedGraph, snapshotRows int) {
 
 // Solver returns a solver over the snapshot plus the delta.
 func (dg *DynamicGraph) Solver() *graph.Solver {
-	return graph.NewSolverWithDelta(dg.pg.CSR, dg.delta)
+	s := graph.NewSolverWithDelta(dg.pg.CSR, dg.delta)
+	s.Parallelism = dg.pg.Parallelism
+	return s
 }
 
 // Match runs a GraphMatch through the dynamic index (snapshot+delta).

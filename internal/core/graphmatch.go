@@ -35,6 +35,9 @@ type PreparedGraph struct {
 	SrcIdx, DstIdx int
 	// KeyKind is the shared type of the vertex keys.
 	KeyKind types.Kind
+	// Parallelism is the worker budget for solving over this graph
+	// (and for rebuilding it); <= 0 means one worker per CPU.
+	Parallelism int
 	// edgesOwned reports whether Edges is a private copy (true after
 	// NULL compaction or the first dynamic-index append) rather than
 	// an alias of the base table columns.
@@ -44,9 +47,19 @@ type PreparedGraph struct {
 // stringKeyed reports whether vertex keys use the string key space.
 func stringKeyed(k types.Kind) bool { return k == types.KindString }
 
-// BuildGraph compiles an edge chunk into a PreparedGraph. The source
-// and destination columns must share one comparable scalar kind.
+// BuildGraph compiles an edge chunk into a PreparedGraph with the
+// default parallelism (one worker per CPU, size-gated). The source and
+// destination columns must share one comparable scalar kind.
 func BuildGraph(edges *storage.Chunk, srcIdx, dstIdx int) (*PreparedGraph, error) {
+	return BuildGraphP(edges, srcIdx, dstIdx, 0)
+}
+
+// BuildGraphP is BuildGraph with an explicit parallelism: dictionary
+// encoding and CSR construction run chunked over up to that many
+// workers (<= 0 means one per CPU), and solvers over the resulting
+// graph inherit the same budget. The graph is bit-identical to a
+// sequential build at any setting.
+func BuildGraphP(edges *storage.Chunk, srcIdx, dstIdx, parallelism int) (*PreparedGraph, error) {
 	if srcIdx < 0 || srcIdx >= len(edges.Cols) || dstIdx < 0 || dstIdx >= len(edges.Cols) {
 		return nil, fmt.Errorf("graph build: edge column index out of range")
 	}
@@ -75,33 +88,23 @@ func BuildGraph(edges *storage.Chunk, srcIdx, dstIdx int) (*PreparedGraph, error
 	var dict *graph.Dict
 	srcIDs := make([]graph.VertexID, m)
 	dstIDs := make([]graph.VertexID, m)
+	ids := [][]graph.VertexID{srcIDs, dstIDs}
 	if stringKeyed(sc.Kind) {
 		dict = graph.NewStringDict(m)
-		for i := 0; i < m; i++ {
-			srcIDs[i] = dict.EncodeString(sc.Strs[i])
-		}
-		for i := 0; i < m; i++ {
-			dstIDs[i] = dict.EncodeString(dc.Strs[i])
-		}
+		dict.EncodeColumnsString([][]string{sc.Strs, dc.Strs}, ids, parallelism)
 	} else {
 		dict = graph.NewIntDict(m)
-		ints := func(c *storage.Column) []int64 { return c.Ints }
-		ss, ds := ints(sc), ints(dc)
-		for i := 0; i < m; i++ {
-			srcIDs[i] = dict.EncodeInt(ss[i])
-		}
-		for i := 0; i < m; i++ {
-			dstIDs[i] = dict.EncodeInt(ds[i])
-		}
+		dict.EncodeColumnsInt([][]int64{sc.Ints, dc.Ints}, ids, parallelism)
 	}
-	csr, err := graph.BuildCSR(dict.Len(), srcIDs, dstIDs)
+	csr, err := graph.BuildCSRParallel(dict.Len(), srcIDs, dstIDs, parallelism)
 	if err != nil {
 		return nil, err
 	}
 	return &PreparedGraph{
 		Dict: dict, CSR: csr, Edges: edges,
 		SrcIdx: srcIdx, DstIdx: dstIdx, KeyKind: sc.Kind,
-		edgesOwned: owned,
+		Parallelism: parallelism,
+		edgesOwned:  owned,
 	}, nil
 }
 
@@ -197,6 +200,7 @@ func (pg *PreparedGraph) match(gm *plan.GraphMatch, input *storage.Chunk, xCol, 
 	}
 
 	solver := graph.NewSolverWithDelta(pg.CSR, delta)
+	solver.Parallelism = pg.Parallelism
 	sol, err := solver.Solve(srcs, dsts, specs)
 	if err != nil {
 		return nil, err

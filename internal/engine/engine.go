@@ -28,6 +28,9 @@ type Engine struct {
 	// indexTables records, per lower-cased table name, the index keys
 	// built on it, for invalidation on writes.
 	indexTables map[string][]string
+	// parallelism is the worker budget for graph construction and
+	// batched shortest-path solving; 0 means one worker per CPU.
+	parallelism int
 	// Stats accumulates executor instrumentation when non-nil.
 	Stats *exec.Stats
 }
@@ -43,6 +46,21 @@ func New() *Engine {
 
 // Catalog exposes the underlying catalog.
 func (e *Engine) Catalog() *storage.Catalog { return e.cat }
+
+// SetParallelism sets the worker budget for graph construction and
+// batched shortest-path solving: 1 forces sequential execution, n > 1
+// caps the workers, and 0 (the default) uses one worker per CPU.
+// Results are identical at any setting. Graph indexes built earlier
+// keep the budget they were built with.
+func (e *Engine) SetParallelism(p int) {
+	if p < 0 {
+		p = 0
+	}
+	e.parallelism = p
+}
+
+// Parallelism reports the configured worker budget (0 = one per CPU).
+func (e *Engine) Parallelism() int { return e.parallelism }
 
 // Query parses, binds, optimizes and executes one statement, returning
 // its result chunk (nil for statements without results).
@@ -102,6 +120,7 @@ func (e *Engine) execStmt(stmt ast.Statement, params []types.Value) (*storage.Ch
 		ctx := &exec.Context{
 			Expr:         &expr.Context{Params: params},
 			GraphIndexes: e.graphIndexes,
+			Parallelism:  e.parallelism,
 			Stats:        e.Stats,
 		}
 		return exec.Execute(p, ctx)
@@ -178,7 +197,7 @@ func (e *Engine) execInsert(t *ast.InsertStmt, params []types.Value) error {
 			return err
 		}
 		p = plan.Rewrite(p)
-		res, err := exec.Execute(p, &exec.Context{Expr: &expr.Context{Params: params}, GraphIndexes: e.graphIndexes})
+		res, err := exec.Execute(p, &exec.Context{Expr: &expr.Context{Params: params}, GraphIndexes: e.graphIndexes, Parallelism: e.parallelism})
 		if err != nil {
 			return err
 		}
@@ -269,7 +288,7 @@ func (e *Engine) BuildGraphIndex(table, src, dst string) error {
 	if dstIdx < 0 {
 		return fmt.Errorf("table %s has no column %q", table, dst)
 	}
-	dg, err := core.NewDynamicGraph(t.Chunk(), srcIdx, dstIdx)
+	dg, err := core.NewDynamicGraphP(t.Chunk(), srcIdx, dstIdx, e.parallelism)
 	if err != nil {
 		return err
 	}

@@ -23,6 +23,9 @@ type Context struct {
 	// GraphIndexes caches dynamic graph indexes keyed by
 	// "table(srcIdx,dstIdx)" (lower-cased); see DB.BuildGraphIndex.
 	GraphIndexes map[string]*core.DynamicGraph
+	// Parallelism is the worker budget for graph construction and
+	// batched shortest-path solving; <= 0 means one worker per CPU.
+	Parallelism int
 	// Stats collects optional instrumentation; may be nil.
 	Stats *Stats
 	// shared caches the results of Shared (CTE) subplans within one
@@ -299,7 +302,7 @@ func execGraphMatch(g *plan.GraphMatch, ctx *Context) (*storage.Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
-	pg, err := core.BuildGraph(edges, g.SrcIdx, g.DstIdx)
+	pg, err := core.BuildGraphP(edges, g.SrcIdx, g.DstIdx, ctx.Parallelism)
 	if err != nil {
 		return nil, err
 	}

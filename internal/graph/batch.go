@@ -1,8 +1,9 @@
 package graph
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Spec describes one CHEAPEST SUM evaluation over a graph: the edge
@@ -47,19 +48,42 @@ type Solution struct {
 // single traversal that serves all its destinations (the batching that
 // figure 1b shows amortizes graph construction), with early exit once
 // every destination of the group is settled.
+//
+// Source groups are independent — each writes a disjoint set of pair
+// indices of the Solution — so large batches are drained by a pool of
+// workers, each owning its private traversal scratch. The CSR, the
+// Delta and the weight vectors are shared read-only. Scheduling cannot
+// change any output value, so parallel runs are bit-identical to
+// sequential ones.
 type Solver struct {
 	g     *CSR
 	delta *Delta
 	n     int // total vertices (CSR + delta growth)
-	bfs   *bfsState
-	dij   *dijkstraState
-	// wanted is a reusable destination mark array.
+	// Parallelism caps the number of solve workers; <= 0 means
+	// runtime.GOMAXPROCS(0). Small batches take a sequential fast path
+	// regardless.
+	Parallelism int
+	// forceParallel bypasses the sequential fast-path heuristic so
+	// tests can exercise the worker pool on tiny inputs.
+	forceParallel bool
+	// scratches pools per-worker traversal state across Solve calls;
+	// scratches[0] doubles as the sequential-path scratch.
+	scratches []*solverScratch
+}
+
+// solverScratch is the per-worker traversal state: BFS and Dijkstra
+// per-vertex arrays plus the destination mark array of the group being
+// solved. Each worker owns exactly one scratch for the duration of a
+// Solve call.
+type solverScratch struct {
+	bfs    *bfsState
+	dij    *dijkstraState
 	wanted []bool
 }
 
 // NewSolver returns a solver for g.
 func NewSolver(g *CSR) *Solver {
-	return &Solver{g: g, n: g.N, wanted: make([]bool, g.N)}
+	return &Solver{g: g, n: g.N}
 }
 
 // NewSolverWithDelta returns a solver over a snapshot CSR plus the
@@ -69,7 +93,16 @@ func NewSolverWithDelta(g *CSR, delta *Delta) *Solver {
 	if delta != nil && delta.N > n {
 		n = delta.N
 	}
-	return &Solver{g: g, delta: delta, n: n, wanted: make([]bool, n)}
+	return &Solver{g: g, delta: delta, n: n}
+}
+
+// scratch returns the pooled per-worker scratch with index i, growing
+// the pool on first use.
+func (s *Solver) scratch(i int) *solverScratch {
+	for len(s.scratches) <= i {
+		s.scratches = append(s.scratches, &solverScratch{wanted: make([]bool, s.n)})
+	}
+	return s.scratches[i]
 }
 
 // ValidateWeights checks the strict positivity requirement of §2 and
@@ -97,6 +130,10 @@ func ValidateWeights(spec *Spec) error {
 	}
 	return nil
 }
+
+// groupSpan is one source group: order[lo:hi] holds the pair indices
+// sharing a source vertex.
+type groupSpan struct{ lo, hi int }
 
 // Solve computes reachability (and the costs/paths requested by specs)
 // for the given parallel src/dst pair arrays. Entries with src or dst
@@ -131,35 +168,76 @@ func (s *Solver) Solve(srcs, dsts []VertexID, specs []Spec) (*Solution, error) {
 			order = append(order, i)
 		}
 	}
-	sort.Slice(order, func(a, b int) bool { return srcs[order[a]] < srcs[order[b]] })
+	slices.SortFunc(order, func(a, b int) int { return cmp.Compare(srcs[a], srcs[b]) })
 
+	groups := make([]groupSpan, 0, 16)
 	for at := 0; at < len(order); {
 		src := srcs[order[at]]
 		end := at
 		for end < len(order) && srcs[order[end]] == src {
 			end++
 		}
-		group := order[at:end]
+		groups = append(groups, groupSpan{at, end})
 		at = end
-		s.solveGroup(src, group, dsts, specs, sol)
 	}
+
+	workers := s.solveWorkers(len(groups))
+	// Grow the scratch pool up front: workers index it concurrently.
+	for w := 0; w < workers; w++ {
+		s.scratch(w)
+	}
+	runIndexed(workers, len(groups), func(worker, i int) {
+		group := order[groups[i].lo:groups[i].hi]
+		s.solveGroup(s.scratches[worker], srcs[group[0]], group, dsts, specs, sol)
+	})
 	return sol, nil
 }
 
-// solveGroup answers all pairs sharing one source vertex.
-func (s *Solver) solveGroup(src VertexID, group []int, dsts []VertexID, specs []Spec, sol *Solution) {
+// solveWorkers picks the worker count for a batch of source groups:
+// one (the sequential fast path) unless the batch is large enough that
+// goroutine overhead is noise against the traversal work.
+func (s *Solver) solveWorkers(groups int) int {
+	if groups < 2 {
+		return 1
+	}
+	workers := resolveWorkers(s.Parallelism)
+	if workers > groups {
+		workers = groups
+	}
+	if workers <= 1 {
+		return 1
+	}
+	if s.forceParallel {
+		return workers
+	}
+	// Each group traverses up to the whole graph; below the threshold a
+	// single worker finishes before a pool would finish spinning up.
+	work := s.n + s.g.NumEdges()
+	if s.delta != nil {
+		work += s.delta.Edges
+	}
+	if groups*work < minParallelSolveWork {
+		return 1
+	}
+	return workers
+}
+
+// solveGroup answers all pairs sharing one source vertex. It runs
+// concurrently for distinct groups, so it must write only through its
+// private scratch and the pair indices of its own group.
+func (s *Solver) solveGroup(sc *solverScratch, src VertexID, group []int, dsts []VertexID, specs []Spec, sol *Solution) {
 	// Mark the distinct destinations of this group.
 	distinct := 0
 	for _, i := range group {
 		d := dsts[i]
-		if !s.wanted[d] {
-			s.wanted[d] = true
+		if !sc.wanted[d] {
+			sc.wanted[d] = true
 			distinct++
 		}
 	}
 	defer func() {
 		for _, i := range group {
-			s.wanted[dsts[i]] = false
+			sc.wanted[dsts[i]] = false
 		}
 	}()
 
@@ -175,12 +253,12 @@ func (s *Solver) solveGroup(src VertexID, group []int, dsts []VertexID, specs []
 
 	reachedSet := false
 	if needBFS {
-		if s.bfs == nil {
-			s.bfs = newBFSState(s.n)
+		if sc.bfs == nil {
+			sc.bfs = newBFSState(s.n)
 		}
-		s.bfs.runBFS(s.g, s.delta, src, s.wanted, distinct)
+		sc.bfs.runBFS(s.g, s.delta, src, sc.wanted, distinct)
 		for _, i := range group {
-			sol.Reached[i] = s.bfs.visited(dsts[i])
+			sol.Reached[i] = sc.bfs.visited(dsts[i])
 		}
 		reachedSet = true
 		for k := range specs {
@@ -190,17 +268,17 @@ func (s *Solver) solveGroup(src VertexID, group []int, dsts []VertexID, specs []
 			}
 			for _, i := range group {
 				d := dsts[i]
-				if !s.bfs.visited(d) {
+				if !sc.bfs.visited(d) {
 					continue
 				}
-				hops := s.bfs.dist[d]
+				hops := sc.bfs.dist[d]
 				if spec.Float {
 					sol.CostF[k][i] = float64(hops) * spec.UnitF
 				} else {
 					sol.CostI[k][i] = hops * spec.UnitI
 				}
 				if spec.NeedPath {
-					sol.Paths[k][i] = s.bfs.pathTo(d)
+					sol.Paths[k][i] = sc.bfs.pathTo(d)
 				}
 			}
 		}
@@ -211,20 +289,20 @@ func (s *Solver) solveGroup(src VertexID, group []int, dsts []VertexID, specs []
 		if spec.Unit {
 			continue
 		}
-		if s.dij == nil {
-			s.dij = newDijkstraState(s.n)
+		if sc.dij == nil {
+			sc.dij = newDijkstraState(s.n)
 		}
 		switch {
 		case spec.WeightsF != nil:
-			s.dij.runFloat(s.g, s.delta, src, spec.WeightsF, s.wanted, distinct)
+			sc.dij.runFloat(s.g, s.delta, src, spec.WeightsF, sc.wanted, distinct)
 		case spec.ForceBinaryHeap:
-			s.dij.runIntBinaryHeap(s.g, s.delta, src, spec.WeightsI, s.wanted, distinct)
+			sc.dij.runIntBinaryHeap(s.g, s.delta, src, spec.WeightsI, sc.wanted, distinct)
 		default:
-			s.dij.runInt(s.g, s.delta, src, spec.WeightsI, s.wanted, distinct)
+			sc.dij.runInt(s.g, s.delta, src, spec.WeightsI, sc.wanted, distinct)
 		}
 		for _, i := range group {
 			d := dsts[i]
-			ok := s.dij.seen(d) && s.dij.settled[d]
+			ok := sc.dij.seen(d) && sc.dij.settled[d]
 			if !reachedSet {
 				sol.Reached[i] = ok
 			}
@@ -232,12 +310,12 @@ func (s *Solver) solveGroup(src VertexID, group []int, dsts []VertexID, specs []
 				continue
 			}
 			if spec.Float {
-				sol.CostF[k][i] = s.dij.distF[d]
+				sol.CostF[k][i] = sc.dij.distF[d]
 			} else {
-				sol.CostI[k][i] = s.dij.distI[d]
+				sol.CostI[k][i] = sc.dij.distI[d]
 			}
 			if spec.NeedPath {
-				sol.Paths[k][i] = s.dij.pathTo(d)
+				sol.Paths[k][i] = sc.dij.pathTo(d)
 			}
 		}
 		reachedSet = true

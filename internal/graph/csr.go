@@ -83,6 +83,110 @@ func BuildCSR(n int, src, dst []VertexID) (*CSR, error) {
 	return &CSR{N: n, Offsets: offsets, Targets: targets, Perm: perm}, nil
 }
 
+// BuildCSRParallel is BuildCSR with chunked parallel degree counting
+// and scattering. The layout is identical to BuildCSR's: each chunk
+// scatters into slots reserved in row order, so CSR positions (and
+// Perm) come out bit-identical regardless of scheduling. Inputs below
+// the size threshold fall back to the sequential builder.
+func BuildCSRParallel(n int, src, dst []VertexID, parallelism int) (*CSR, error) {
+	workers := resolveWorkers(parallelism)
+	// Keep every chunk large enough that the per-chunk count arrays
+	// (workers × n) and goroutine startup stay noise.
+	if maxW := len(src) / (minParallelCSREdges / 4); workers > maxW {
+		workers = maxW
+	}
+	if workers <= 1 || len(src) < minParallelCSREdges {
+		return BuildCSR(n, src, dst)
+	}
+	return buildCSRParallel(n, src, dst, workers)
+}
+
+// buildCSRParallel is the parallel builder proper; tests call it
+// directly to exercise the chunked path on small inputs.
+func buildCSRParallel(n int, src, dst []VertexID, workers int) (*CSR, error) {
+	if len(src) != len(dst) {
+		return nil, fmt.Errorf("graph: src/dst length mismatch: %d vs %d", len(src), len(dst))
+	}
+	m := len(src)
+	// Phase 1: per-chunk degree counting and range validation.
+	counts := make([][]int32, workers)
+	badSrc := make([]int, workers)
+	badDst := make([]int, workers)
+	for w := range badSrc {
+		badSrc[w], badDst[w] = -1, -1
+	}
+	runRanges(workers, m, func(w, lo, hi int) {
+		cnt := make([]int32, n)
+		badS, badD := -1, -1
+		for row := lo; row < hi; row++ {
+			s := src[row]
+			if s < 0 || int(s) >= n {
+				if badS < 0 {
+					badS = row
+				}
+				continue
+			}
+			cnt[s]++
+		}
+		for row := lo; row < hi; row++ {
+			if d := dst[row]; d < 0 || int(d) >= n {
+				badD = row
+				break
+			}
+		}
+		counts[w], badSrc[w], badDst[w] = cnt, badS, badD
+	})
+	// Report the same error the sequential builder would: the first
+	// out-of-range source anywhere, else the first bad destination.
+	firstBad := func(bad []int) int {
+		first := -1
+		for _, row := range bad {
+			if row >= 0 && (first < 0 || row < first) {
+				first = row
+			}
+		}
+		return first
+	}
+	if row := firstBad(badSrc); row >= 0 {
+		return nil, fmt.Errorf("graph: source id %d out of range [0,%d)", src[row], n)
+	}
+	if row := firstBad(badDst); row >= 0 {
+		return nil, fmt.Errorf("graph: destination id %d out of range [0,%d)", dst[row], n)
+	}
+	// Phase 2 (sequential): prefix-sum the offsets while turning each
+	// chunk's count into its absolute scatter cursor. Chunk w's slots
+	// for vertex v start after the slots of chunks < w, which preserves
+	// the sequential row order within every vertex. Cursors fit int32
+	// because Perm does.
+	offsets := make([]int64, n+1)
+	pos := int64(0)
+	for v := 0; v < n; v++ {
+		offsets[v] = pos
+		for _, cnt := range counts {
+			if cnt == nil {
+				continue
+			}
+			c := cnt[v]
+			cnt[v] = int32(pos)
+			pos += int64(c)
+		}
+	}
+	offsets[n] = pos
+	// Phase 3: parallel scatter, each chunk into its reserved slots.
+	targets := make([]VertexID, m)
+	perm := make([]int32, m)
+	runRanges(workers, m, func(w, lo, hi int) {
+		cur := counts[w]
+		for row := lo; row < hi; row++ {
+			p := cur[src[row]]
+			cur[src[row]]++
+			targets[p] = dst[row]
+			perm[p] = int32(row)
+		}
+	})
+	return &CSR{N: n, Offsets: offsets, Targets: targets, Perm: perm}, nil
+}
+
 // Reverse returns the CSR of the transposed graph. Perm entries still
 // refer to the original edge rows.
 func (g *CSR) Reverse() *CSR {

@@ -1,0 +1,109 @@
+package graph
+
+// Bulk dictionary encoding. The GraphMatch operator encodes two whole
+// key columns (sources then destinations) at once; treating their
+// concatenation as one key stream lets the expensive part — hashing
+// every key — run chunked across workers while keeping the dense-ID
+// assignment deterministic: chunks pre-deduplicate in parallel, then a
+// short sequential merge interns the distinct keys in stream order
+// (so every key gets exactly the ID sequential EncodeInt/EncodeString
+// calls would assign), and finally the chunks fill in the output IDs
+// from the then-read-only map in parallel.
+
+// EncodeColumnsInt encodes the concatenation of the given int64 key
+// columns, writing dense IDs into the parallel outs slices (outs[c]
+// must have len(cols[c])). IDs are identical to sequential EncodeInt
+// calls in stream order, for any parallelism.
+func (d *Dict) EncodeColumnsInt(cols [][]int64, outs [][]VertexID, parallelism int) {
+	bulkEncode(d.ints, &d.n, cols, outs, resolveWorkers(parallelism))
+}
+
+// EncodeColumnsString is EncodeColumnsInt over the string key space.
+func (d *Dict) EncodeColumnsString(cols [][]string, outs [][]VertexID, parallelism int) {
+	bulkEncode(d.strs, &d.n, cols, outs, resolveWorkers(parallelism))
+}
+
+func bulkEncode[K comparable](m map[K]VertexID, next *VertexID, cols [][]K, outs [][]VertexID, workers int) {
+	total := 0
+	for _, col := range cols {
+		total += len(col)
+	}
+	if workers <= 1 || total < minParallelEncodeKeys {
+		for c, col := range cols {
+			out := outs[c]
+			for i, k := range col {
+				id, ok := m[k]
+				if !ok {
+					id = *next
+					m[k] = id
+					*next = id + 1
+				}
+				out[i] = id
+			}
+		}
+		return
+	}
+	bulkEncodeParallel(m, next, cols, outs, workers, total)
+}
+
+// encodeChunk is one contiguous piece of a key column plus the keys it
+// saw first within itself (phase-1 output).
+type encodeChunk[K comparable] struct {
+	col, lo, hi int
+	distinct    []K
+}
+
+func bulkEncodeParallel[K comparable](m map[K]VertexID, next *VertexID, cols [][]K, outs [][]VertexID, workers, total int) {
+	// A few chunks per worker balances skew without shrinking chunks
+	// below the point where map overhead dominates.
+	size := total / (workers * 2)
+	if min := minParallelEncodeKeys / 8; size < min {
+		size = min
+	}
+	var chunks []*encodeChunk[K]
+	for c, col := range cols {
+		for lo := 0; lo < len(col); lo += size {
+			hi := lo + size
+			if hi > len(col) {
+				hi = len(col)
+			}
+			chunks = append(chunks, &encodeChunk[K]{col: c, lo: lo, hi: hi})
+		}
+	}
+	// Phase 1 (parallel): per-chunk dedup of keys the dictionary does
+	// not already know; the shared map is read-only here.
+	runIndexed(workers, len(chunks), func(_, i int) {
+		ch := chunks[i]
+		keys := cols[ch.col][ch.lo:ch.hi]
+		local := make(map[K]struct{}, len(keys)/4+8)
+		for _, k := range keys {
+			if _, ok := m[k]; ok {
+				continue
+			}
+			if _, ok := local[k]; ok {
+				continue
+			}
+			local[k] = struct{}{}
+			ch.distinct = append(ch.distinct, k)
+		}
+	})
+	// Phase 2 (sequential): intern distinct keys in stream order so the
+	// dense IDs match what a sequential pass would assign.
+	for _, ch := range chunks {
+		for _, k := range ch.distinct {
+			if _, ok := m[k]; !ok {
+				m[k] = *next
+				*next++
+			}
+		}
+	}
+	// Phase 3 (parallel): fill output IDs from the now-complete map.
+	runIndexed(workers, len(chunks), func(_, i int) {
+		ch := chunks[i]
+		keys := cols[ch.col]
+		out := outs[ch.col]
+		for j := ch.lo; j < ch.hi; j++ {
+			out[j] = m[keys[j]]
+		}
+	})
+}
