@@ -35,14 +35,14 @@ func parseInts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1 | fig1a | fig1b | baselines | phases | queues | dynindex | parallel | all")
+	exp := flag.String("exp", "all", "experiment: table1 | fig1a | fig1b | baselines | phases | queues | dynindex | parallel | execpar | all")
 	sfs := flag.String("sf", "1,3,10", "comma-separated scale factors")
 	shrink := flag.Int("shrink", 10, "divide dataset sizes by this factor (1 = paper size)")
 	pairs := flag.Int("pairs", 20, "random pairs per configuration")
 	batches := flag.String("batches", "1,2,4,8,16,32,64,128", "figure 1b batch sizes")
 	seed := flag.Uint64("seed", 42, "workload seed")
 	workers := flag.String("workers", "", "comma-separated worker counts for -exp parallel (default 1,2,4,…,GOMAXPROCS); a single value also sets the engine parallelism of the other experiments")
-	jsonPath := flag.String("json", "", "write machine-readable JSON results of -exp parallel to this file")
+	jsonPath := flag.String("json", "", "write machine-readable JSON results to this file (-exp parallel or execpar only)")
 	flag.Parse()
 
 	sfList, err := parseInts(*sfs)
@@ -73,8 +73,10 @@ func main() {
 		o.Parallelism = workerList[0]
 	}
 	if *jsonPath != "" {
-		if *exp != "all" && *exp != "parallel" {
-			fmt.Fprintf(os.Stderr, "-json is only produced by -exp parallel (or all), not %q\n", *exp)
+		// Exactly one experiment may own the JSON file: two encoders
+		// appending to one file would produce an invalid document.
+		if *exp != "parallel" && *exp != "execpar" {
+			fmt.Fprintf(os.Stderr, "-json is only produced by -exp parallel or -exp execpar, not %q\n", *exp)
 			os.Exit(2)
 		}
 		f, err := os.Create(*jsonPath)
@@ -104,4 +106,5 @@ func main() {
 	run("queues", bench.DijkstraQueues)
 	run("dynindex", bench.DynamicIndex)
 	run("parallel", bench.Parallel)
+	run("execpar", bench.ExecPar)
 }

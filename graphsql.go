@@ -19,20 +19,28 @@
 //
 // # Parallelism
 //
-// The shortest-path runtime is multi-core: batched many-to-many
-// queries drain their per-source traversals over a worker pool, and
-// graph construction (dictionary encoding and CSR building) runs
-// chunked across workers. The default budget is one worker per CPU;
+// Query execution is multi-core end to end. The shortest-path runtime
+// drains batched per-source traversals over a worker pool and builds
+// the graph (dictionary encoding, CSR) chunked across workers; the
+// relational operators around it opt into the same budget — hash
+// joins partition build and probe, GROUP BY pre-aggregates per row
+// partition (or accumulates per group when exact float/DISTINCT
+// ordering demands it), ORDER BY runs a stable parallel merge sort,
+// and DISTINCT and set operations shard rows by hash key — and result
+// materialization (row gather, cost columns, nested-table paths) is
+// partitioned the same way. The default budget is one worker per CPU;
 // WithParallelism overrides it:
 //
 //	db := graphsql.Open(graphsql.WithParallelism(4)) // cap at 4 workers
 //	db := graphsql.Open(graphsql.WithParallelism(1)) // force sequential
 //
 // Results are bit-identical at every setting — parallel execution only
-// partitions independent work (per-source traversals, edge chunks),
-// it never reorders the computation inside one unit. Small inputs take
-// a sequential fast path regardless, so point queries pay no goroutine
-// overhead.
+// partitions independent work (per-source traversals, edge chunks, row
+// ranges, key shards) over disjoint outputs merged in a fixed order,
+// and never reorders the computation inside one unit. A differential
+// test harness holds every operator to that guarantee. Small inputs
+// take a sequential fast path regardless, so point queries pay no
+// goroutine overhead.
 package graphsql
 
 import (

@@ -13,6 +13,7 @@ import (
 
 	"graphsql/internal/expr"
 	"graphsql/internal/graph"
+	"graphsql/internal/par"
 	"graphsql/internal/plan"
 	"graphsql/internal/storage"
 	"graphsql/internal/types"
@@ -206,39 +207,73 @@ func (pg *PreparedGraph) match(gm *plan.GraphMatch, input *storage.Chunk, xCol, 
 		return nil, err
 	}
 
-	// Materialize the surviving rows plus the generated columns.
+	// Materialize the surviving rows plus the generated columns. The
+	// output phase (row gather, cost columns, nested-table paths) is
+	// partitioned over the solver's worker budget: every worker fills a
+	// disjoint slice range, so the result is bit-identical to the
+	// sequential loop at any worker count.
 	keep := make([]int, 0, len(sol.Reached))
 	for i, r := range sol.Reached {
 		if r {
 			keep = append(keep, i)
 		}
 	}
-	out := input.Gather(keep)
+	workers := 1
+	if len(keep) >= minParallelOutputRows {
+		workers = par.Workers(pg.Parallelism)
+	}
+	out := input.GatherP(keep, workers)
 	out.Schema = gm.Sch[:len(input.Schema)]
 	for k := range gm.Specs {
 		sp := &gm.Specs[k]
-		costCol := storage.NewColumn(sp.CostKind, len(keep))
+		var costCol *storage.Column
 		if sp.CostKind == types.KindFloat {
-			for _, i := range keep {
-				costCol.AppendFloat(sol.CostF[k][i])
-			}
+			fs := make([]float64, len(keep))
+			par.Ranges(workers, len(keep), func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					fs[i] = sol.CostF[k][keep[i]]
+				}
+			})
+			costCol = storage.ColumnFromFloats(fs)
 		} else {
-			for _, i := range keep {
-				costCol.AppendInt(sol.CostI[k][i])
-			}
+			is := make([]int64, len(keep))
+			par.Ranges(workers, len(keep), func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					is[i] = sol.CostI[k][keep[i]]
+				}
+			})
+			costCol = storage.ColumnFromInts(sp.CostKind, is)
 		}
 		out.Cols = append(out.Cols, costCol)
 		if sp.WantPath {
-			pathCol := storage.NewColumn(types.KindPath, len(keep))
 			names, kinds := pg.pathSchema()
-			for _, i := range keep {
-				pathCol.AppendPath(pg.buildPath(names, kinds, sol.Paths[k][i]))
-			}
-			out.Cols = append(out.Cols, pathCol)
+			ps := make([]*types.Path, len(keep))
+			// Paths vary wildly in length; steal items instead of
+			// splitting ranges so one long-path region cannot
+			// serialize the phase.
+			par.Indexed(workers, len(keep), func(_, i int) {
+				ps[i] = pg.buildPath(names, kinds, sol.Paths[k][keep[i]])
+			})
+			out.Cols = append(out.Cols, storage.ColumnFromPaths(ps))
 		}
 	}
 	out.Schema = gm.Sch
 	return out, nil
+}
+
+// minParallelOutputRows gates the parallel output phase of GraphMatch:
+// below it, materialization stays on the calling goroutine. A variable
+// (not a const) so tests can lower it to force the parallel path on
+// small corpora; see SetMinParallelOutputRows.
+var minParallelOutputRows = 1 << 12
+
+// SetMinParallelOutputRows overrides the parallel-materialization gate
+// and returns the previous value. Intended for tests and benchmarks;
+// not safe to call concurrently with query execution.
+func SetMinParallelOutputRows(n int) int {
+	prev := minParallelOutputRows
+	minParallelOutputRows = n
+	return prev
 }
 
 // pathSchema derives the nested-table column names/kinds from the edge

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"graphsql/internal/par"
 	"graphsql/internal/plan"
 	"graphsql/internal/storage"
 	"graphsql/internal/types"
@@ -16,6 +17,62 @@ type aggState struct {
 	min, max types.Value
 	seen     bool
 	distinct map[string]struct{}
+}
+
+// newAggStates allocates the per-group state row for the given specs.
+func newAggStates(aggs []plan.AggSpec) []aggState {
+	st := make([]aggState, len(aggs))
+	for i := range aggs {
+		if aggs[i].Distinct {
+			st[i].distinct = make(map[string]struct{})
+		}
+	}
+	return st
+}
+
+// accumRow folds input row `row` into the state row st. This is the
+// single accumulation routine shared by the sequential and both
+// parallel paths, so their per-group state transitions are identical.
+func accumRow(aggs []plan.AggSpec, st []aggState, argCols []*storage.Column, row int) {
+	for i := range aggs {
+		spec := &aggs[i]
+		if spec.Op == plan.AggCountStar {
+			st[i].count++
+			continue
+		}
+		c := argCols[i]
+		if c.IsNull(row) {
+			continue // aggregates skip NULL inputs
+		}
+		if spec.Distinct {
+			var kb []byte
+			kb = encodeKey(kb, c, row)
+			if _, dup := st[i].distinct[string(kb)]; dup {
+				continue
+			}
+			st[i].distinct[string(kb)] = struct{}{}
+		}
+		v := c.Get(row)
+		st[i].count++
+		switch spec.Op {
+		case plan.AggSum, plan.AggAvg:
+			if c.Kind == types.KindFloat {
+				st[i].sumF += v.F
+			} else {
+				st[i].sumI += v.I
+				st[i].sumF += float64(v.I)
+			}
+		case plan.AggMin:
+			if !st[i].seen || types.Compare(v, st[i].min) < 0 {
+				st[i].min = v
+			}
+		case plan.AggMax:
+			if !st[i].seen || types.Compare(v, st[i].max) > 0 {
+				st[i].max = v
+			}
+		}
+		st[i].seen = true
+	}
 }
 
 func execAggregate(a *plan.Aggregate, ctx *Context) (*storage.Chunk, error) {
@@ -46,68 +103,16 @@ func execAggregate(a *plan.Aggregate, ctx *Context) (*storage.Chunk, error) {
 		argCols[i] = c
 	}
 
-	groups := make(map[string]int, 64)
 	var groupRows []int // one representative row per group
-	states := make([][]aggState, 0, 64)
-	var buf []byte
-	for row := 0; row < n; row++ {
-		buf = buf[:0]
-		for _, gc := range groupCols {
-			buf = encodeKey(buf, gc, row)
-		}
-		gid, ok := groups[string(buf)]
-		if !ok {
-			gid = len(groupRows)
-			groups[string(buf)] = gid
-			groupRows = append(groupRows, row)
-			st := make([]aggState, len(a.Aggs))
-			for i := range a.Aggs {
-				if a.Aggs[i].Distinct {
-					st[i].distinct = make(map[string]struct{})
-				}
-			}
-			states = append(states, st)
-		}
-		st := states[gid]
-		for i := range a.Aggs {
-			spec := &a.Aggs[i]
-			if spec.Op == plan.AggCountStar {
-				st[i].count++
-				continue
-			}
-			c := argCols[i]
-			if c.IsNull(row) {
-				continue // aggregates skip NULL inputs
-			}
-			if spec.Distinct {
-				var kb []byte
-				kb = encodeKey(kb, c, row)
-				if _, dup := st[i].distinct[string(kb)]; dup {
-					continue
-				}
-				st[i].distinct[string(kb)] = struct{}{}
-			}
-			v := c.Get(row)
-			st[i].count++
-			switch spec.Op {
-			case plan.AggSum, plan.AggAvg:
-				if c.Kind == types.KindFloat {
-					st[i].sumF += v.F
-				} else {
-					st[i].sumI += v.I
-					st[i].sumF += float64(v.I)
-				}
-			case plan.AggMin:
-				if !st[i].seen || types.Compare(v, st[i].min) < 0 {
-					st[i].min = v
-				}
-			case plan.AggMax:
-				if !st[i].seen || types.Compare(v, st[i].max) > 0 {
-					st[i].max = v
-				}
-			}
-			st[i].seen = true
-		}
+	var states [][]aggState
+	workers := ctx.workers(n)
+	switch {
+	case workers <= 1:
+		groupRows, states = aggSequential(a.Aggs, groupCols, argCols, n)
+	case aggMergeSafe(a.Aggs):
+		groupRows, states = aggPartitioned(a.Aggs, groupCols, argCols, n, workers)
+	default:
+		groupRows, states = aggPerGroup(a.Aggs, groupCols, argCols, n, workers)
 	}
 
 	// A global aggregate (no GROUP BY) over zero rows still yields one
@@ -162,4 +167,183 @@ func execAggregate(a *plan.Aggregate, ctx *Context) (*storage.Chunk, error) {
 		out.AppendRow(row)
 	}
 	return out, nil
+}
+
+// aggSequential is the single-threaded grouping loop: one pass,
+// groups numbered by first appearance.
+func aggSequential(aggs []plan.AggSpec, groupCols, argCols []*storage.Column, n int) ([]int, [][]aggState) {
+	groups := make(map[string]int, 64)
+	var groupRows []int
+	states := make([][]aggState, 0, 64)
+	var buf []byte
+	for row := 0; row < n; row++ {
+		buf = buf[:0]
+		for _, gc := range groupCols {
+			buf = encodeKey(buf, gc, row)
+		}
+		gid, ok := groups[string(buf)]
+		if !ok {
+			gid = len(groupRows)
+			groups[string(buf)] = gid
+			groupRows = append(groupRows, row)
+			states = append(states, newAggStates(aggs))
+		}
+		accumRow(aggs, states[gid], argCols, row)
+	}
+	return groupRows, states
+}
+
+// aggMergeSafe reports whether every aggregate's partial states can be
+// merged across row partitions without changing the result bit for
+// bit: COUNT and integer SUM are associative, MIN/MAX keep the
+// earliest value among Compare-equal candidates when partitions merge
+// in row order. Float SUM/AVG are excluded (float addition is not
+// associative, so partial sums would diverge from the sequential
+// accumulation order in the last bits), as are DISTINCT aggregates
+// (their accumulation order determines which representative is kept).
+func aggMergeSafe(aggs []plan.AggSpec) bool {
+	for i := range aggs {
+		if aggs[i].Distinct {
+			return false
+		}
+		switch aggs[i].Op {
+		case plan.AggCountStar, plan.AggCount, plan.AggMin, plan.AggMax:
+		case plan.AggSum:
+			if aggs[i].Kind == types.KindFloat {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// localAgg is one row partition's private aggregation result: groups
+// in first-appearance order within the partition.
+type localAgg struct {
+	keys   []string
+	reps   []int
+	states [][]aggState
+}
+
+// aggPartitioned is partitioned pre-aggregation for merge-safe
+// aggregate sets: contiguous row partitions aggregate privately (no
+// shared state, no per-row key allocation on group hits), then the
+// partials merge sequentially in partition order. Because partitions
+// are contiguous and merged in order, global group numbering is by
+// first appearance — identical to the sequential loop — and merge-safe
+// states merge exactly.
+func aggPartitioned(aggs []plan.AggSpec, groupCols, argCols []*storage.Column, n, workers int) ([]int, [][]aggState) {
+	nRanges := par.NumRanges(workers, n)
+	locals := make([]localAgg, nRanges)
+	par.Ranges(workers, n, func(w, lo, hi int) {
+		groups := make(map[string]int, 64)
+		var local localAgg
+		var buf []byte
+		for row := lo; row < hi; row++ {
+			buf = buf[:0]
+			for _, gc := range groupCols {
+				buf = encodeKey(buf, gc, row)
+			}
+			gid, ok := groups[string(buf)]
+			if !ok {
+				gid = len(local.reps)
+				key := string(buf)
+				groups[key] = gid
+				local.keys = append(local.keys, key)
+				local.reps = append(local.reps, row)
+				local.states = append(local.states, newAggStates(aggs))
+			}
+			accumRow(aggs, local.states[gid], argCols, row)
+		}
+		locals[w] = local
+	})
+	groups := make(map[string]int, 64)
+	var groupRows []int
+	var states [][]aggState
+	for _, local := range locals {
+		for li, key := range local.keys {
+			gid, ok := groups[key]
+			if !ok {
+				gid = len(groupRows)
+				groups[key] = gid
+				groupRows = append(groupRows, local.reps[li])
+				states = append(states, local.states[li])
+				continue
+			}
+			mergeAggStates(aggs, states[gid], local.states[li])
+		}
+	}
+	return groupRows, states
+}
+
+// mergeAggStates folds the later partition's state src into dst; only
+// called for merge-safe aggregate sets (see aggMergeSafe).
+func mergeAggStates(aggs []plan.AggSpec, dst, src []aggState) {
+	for i := range aggs {
+		dst[i].count += src[i].count
+		switch aggs[i].Op {
+		case plan.AggSum:
+			dst[i].sumI += src[i].sumI
+			dst[i].sumF += src[i].sumF
+		case plan.AggMin:
+			if src[i].seen && (!dst[i].seen || types.Compare(src[i].min, dst[i].min) < 0) {
+				dst[i].min = src[i].min
+			}
+		case plan.AggMax:
+			if src[i].seen && (!dst[i].seen || types.Compare(src[i].max, dst[i].max) > 0) {
+				dst[i].max = src[i].max
+			}
+		}
+		dst[i].seen = dst[i].seen || src[i].seen
+	}
+}
+
+// aggPerGroup is the general parallel path: keys are pre-encoded in
+// parallel, groups are discovered in one sequential pass (numbering by
+// first appearance, as in the sequential loop), and then each group's
+// rows are folded independently — in ascending row order, so every
+// state transition sequence matches the sequential loop's exactly,
+// including float accumulation order and DISTINCT-set insertion order.
+func aggPerGroup(aggs []plan.AggSpec, groupCols, argCols []*storage.Column, n, workers int) ([]int, [][]aggState) {
+	rk := encodeRowKeys(groupCols, n, false, workers)
+	groups := make(map[string]int, 64)
+	gids := make([]int32, n)
+	var groupRows []int
+	for row := 0; row < n; row++ {
+		gid, ok := groups[rk.keys[row]]
+		if !ok {
+			gid = len(groupRows)
+			groups[rk.keys[row]] = gid
+			groupRows = append(groupRows, row)
+		}
+		gids[row] = int32(gid)
+	}
+	numGroups := len(groupRows)
+	// Bucket rows by group, preserving ascending row order per group.
+	counts := make([]int32, numGroups+1)
+	for _, g := range gids {
+		counts[g+1]++
+	}
+	for g := 1; g <= numGroups; g++ {
+		counts[g] += counts[g-1]
+	}
+	order := make([]int32, n)
+	next := make([]int32, numGroups)
+	copy(next, counts[:numGroups])
+	for row := 0; row < n; row++ {
+		g := gids[row]
+		order[next[g]] = int32(row)
+		next[g]++
+	}
+	states := make([][]aggState, numGroups)
+	par.Indexed(workers, numGroups, func(_, g int) {
+		st := newAggStates(aggs)
+		for _, row := range order[counts[g]:counts[g+1]] {
+			accumRow(aggs, st, argCols, int(row))
+		}
+		states[g] = st
+	})
+	return groupRows, states
 }

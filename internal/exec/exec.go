@@ -11,6 +11,7 @@ import (
 
 	"graphsql/internal/core"
 	"graphsql/internal/expr"
+	"graphsql/internal/par"
 	"graphsql/internal/plan"
 	"graphsql/internal/storage"
 	"graphsql/internal/types"
@@ -163,8 +164,7 @@ func execSort(s *plan.Sort, ctx *Context) (*storage.Chunk, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ra, rb := idx[a], idx[b]
+	less := func(ra, rb int) bool {
 		for ki, k := range s.Keys {
 			c := keys[ki]
 			na, nb := c.IsNull(ra), c.IsNull(rb)
@@ -195,8 +195,16 @@ func execSort(s *plan.Sort, ctx *Context) (*storage.Chunk, error) {
 			return cmp < 0
 		}
 		return false
-	})
-	return in.Gather(idx), nil
+	}
+	// The stable order under a fixed comparator is unique, so the
+	// parallel merge sort returns exactly what sort.SliceStable would.
+	workers := ctx.workers(n)
+	if workers <= 1 {
+		sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+		return in.Gather(idx), nil
+	}
+	parallelMergeSort(idx, less, workers)
+	return in.GatherP(idx, workers), nil
 }
 
 func execLimit(l *plan.Limit, ctx *Context) (*storage.Chunk, error) {
@@ -247,21 +255,44 @@ func execDistinct(d *plan.Distinct, ctx *Context) (*storage.Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
-	seen := make(map[string]struct{}, in.NumRows())
-	var keep []int
-	var buf []byte
-	for i := 0; i < in.NumRows(); i++ {
-		buf = buf[:0]
-		for _, c := range in.Cols {
-			buf = encodeKey(buf, c, i)
+	n := in.NumRows()
+	workers := ctx.workers(n)
+	if workers <= 1 {
+		seen := make(map[string]struct{}, n)
+		var keep []int
+		var buf []byte
+		for i := 0; i < n; i++ {
+			buf = buf[:0]
+			for _, c := range in.Cols {
+				buf = encodeKey(buf, c, i)
+			}
+			k := string(buf)
+			if _, ok := seen[k]; !ok {
+				seen[k] = struct{}{}
+				keep = append(keep, i)
+			}
 		}
-		k := string(buf)
-		if _, ok := seen[k]; !ok {
-			seen[k] = struct{}{}
-			keep = append(keep, i)
-		}
+		return in.Gather(keep), nil
 	}
-	return in.Gather(keep), nil
+	// Sharded dedup: rows are hash-partitioned by key, each shard keeps
+	// its first occurrences (ascending row order), and the per-shard
+	// survivors merge back in ascending row order — exactly the rows a
+	// sequential scan keeps.
+	rk := encodeRowKeys(in.Cols, n, false, workers)
+	shardRows := rk.shardRows(workers, workers, n)
+	keeps := make([][]int, workers)
+	par.Indexed(workers, workers, func(_, s int) {
+		seen := make(map[string]struct{}, len(shardRows[s]))
+		var keep []int
+		for _, i := range shardRows[s] {
+			if _, ok := seen[rk.keys[i]]; !ok {
+				seen[rk.keys[i]] = struct{}{}
+				keep = append(keep, i)
+			}
+		}
+		keeps[s] = keep
+	})
+	return in.GatherP(mergeAscending(keeps, n), workers), nil
 }
 
 func execGraphMatch(g *plan.GraphMatch, ctx *Context) (*storage.Chunk, error) {

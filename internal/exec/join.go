@@ -1,9 +1,12 @@
 package exec
 
 import (
+	"cmp"
 	"math"
+	"slices"
 
 	"graphsql/internal/expr"
+	"graphsql/internal/par"
 	"graphsql/internal/plan"
 	"graphsql/internal/storage"
 )
@@ -50,7 +53,7 @@ func execJoin(j *plan.Join, ctx *Context) (*storage.Chunk, error) {
 	}
 	switch j.Type {
 	case plan.JoinCross:
-		return crossJoin(j, left, right), nil
+		return crossJoin(j, left, right, ctx), nil
 	case plan.JoinSemi, plan.JoinAnti:
 		return semiAntiJoin(j, left, right, ctx)
 	default:
@@ -85,53 +88,28 @@ func semiAntiJoin(j *plan.Join, left, right *storage.Chunk, ctx *Context) (*stor
 			keep = append(keep, a)
 		}
 	}
-	out := left.Gather(keep)
+	out := left.GatherP(keep, ctx.workers(len(keep)))
 	out.Schema = j.Schema()
 	return out, nil
 }
 
 // matchPairs computes the matching (left, right) row pairs of a join
-// condition, hash-based when equality pairs exist.
+// condition, hash-based when equality pairs exist. The hash path
+// partitions the build side over key-hash shards and the probe side
+// over contiguous left-row ranges; per-range outputs concatenate in
+// range order, so the pair list is identical to the sequential
+// build/probe at any worker count.
 func matchPairs(on expr.Expr, left, right *storage.Chunk, ctx *Context) ([]int, []int, error) {
 	nLeft := len(left.Schema)
 	keys, residual := extractEquiKeys(on, nLeft)
 	var li, ri []int
 	nl, nr := left.NumRows(), right.NumRows()
 	if len(keys) > 0 {
-		build := make(map[string][]int, nr)
-		var buf []byte
-		for b := 0; b < nr; b++ {
-			buf = buf[:0]
-			null := false
-			for _, k := range keys {
-				if right.Cols[k.r].IsNull(b) {
-					null = true
-					break
-				}
-				buf = encodeKey(buf, right.Cols[k.r], b)
-			}
-			if null {
-				continue
-			}
-			build[string(buf)] = append(build[string(buf)], b)
-		}
-		for a := 0; a < nl; a++ {
-			buf = buf[:0]
-			null := false
-			for _, k := range keys {
-				if left.Cols[k.l].IsNull(a) {
-					null = true
-					break
-				}
-				buf = encodeKey(buf, left.Cols[k.l], a)
-			}
-			if null {
-				continue
-			}
-			for _, b := range build[string(buf)] {
-				li = append(li, a)
-				ri = append(ri, b)
-			}
+		workers := ctx.workers(nl + nr)
+		if workers <= 1 {
+			li, ri = hashMatchSeq(keys, left, right)
+		} else {
+			li, ri = hashMatchPar(keys, left, right, workers)
 		}
 	} else {
 		for a := 0; a < nl; a++ {
@@ -142,7 +120,8 @@ func matchPairs(on expr.Expr, left, right *storage.Chunk, ctx *Context) ([]int, 
 		}
 	}
 	if residual != nil && len(li) > 0 {
-		cand := pairChunk(left, right, li, ri)
+		workers := ctx.workers(len(li))
+		cand := pairChunk(left, right, li, ri, workers)
 		pc, err := residual.Eval(ctx.Expr, cand)
 		if err != nil {
 			return nil, nil, err
@@ -159,52 +138,141 @@ func matchPairs(on expr.Expr, left, right *storage.Chunk, ctx *Context) ([]int, 
 	return li, ri, nil
 }
 
+// hashMatchSeq is the single-threaded hash join: build a map over the
+// right side, probe with the left side in row order.
+func hashMatchSeq(keys []equiKey, left, right *storage.Chunk) (li, ri []int) {
+	nl, nr := left.NumRows(), right.NumRows()
+	build := make(map[string][]int, nr)
+	var buf []byte
+	for b := 0; b < nr; b++ {
+		buf = buf[:0]
+		null := false
+		for _, k := range keys {
+			if right.Cols[k.r].IsNull(b) {
+				null = true
+				break
+			}
+			buf = encodeKey(buf, right.Cols[k.r], b)
+		}
+		if null {
+			continue
+		}
+		build[string(buf)] = append(build[string(buf)], b)
+	}
+	for a := 0; a < nl; a++ {
+		buf = buf[:0]
+		null := false
+		for _, k := range keys {
+			if left.Cols[k.l].IsNull(a) {
+				null = true
+				break
+			}
+			buf = encodeKey(buf, left.Cols[k.l], a)
+		}
+		if null {
+			continue
+		}
+		for _, b := range build[string(buf)] {
+			li = append(li, a)
+			ri = append(ri, b)
+		}
+	}
+	return li, ri
+}
+
+// hashMatchPar is the partitioned hash join. Build: every worker owns
+// one key-hash shard and inserts its rows in ascending row order, so
+// each per-key row list matches the sequential build. Probe: contiguous
+// left-row ranges emit pair runs that concatenate in range order.
+func hashMatchPar(keys []equiKey, left, right *storage.Chunk, workers int) ([]int, []int) {
+	nl, nr := left.NumRows(), right.NumRows()
+	lcols := make([]*storage.Column, len(keys))
+	rcols := make([]*storage.Column, len(keys))
+	for i, k := range keys {
+		lcols[i] = left.Cols[k.l]
+		rcols[i] = right.Cols[k.r]
+	}
+	rk := encodeRowKeys(rcols, nr, true, workers)
+	shards := workers
+	shardRows := rk.shardRows(shards, workers, nr)
+	maps := make([]map[string][]int, shards)
+	par.Indexed(workers, shards, func(_, s int) {
+		m := make(map[string][]int, len(shardRows[s]))
+		for _, b := range shardRows[s] {
+			m[rk.keys[b]] = append(m[rk.keys[b]], b)
+		}
+		maps[s] = m
+	})
+	lk := encodeRowKeys(lcols, nl, true, workers)
+	nRanges := par.NumRanges(workers, nl)
+	type pairRun struct{ li, ri []int }
+	runs := make([]pairRun, nRanges)
+	par.Ranges(workers, nl, func(w, lo, hi int) {
+		var li, ri []int
+		for a := lo; a < hi; a++ {
+			if lk.invalid[a] {
+				continue
+			}
+			for _, b := range maps[lk.shard(a, shards)][lk.keys[a]] {
+				li = append(li, a)
+				ri = append(ri, b)
+			}
+		}
+		runs[w] = pairRun{li, ri}
+	})
+	total := 0
+	for _, r := range runs {
+		total += len(r.li)
+	}
+	li := make([]int, 0, total)
+	ri := make([]int, 0, total)
+	for _, r := range runs {
+		li = append(li, r.li...)
+		ri = append(ri, r.ri...)
+	}
+	return li, ri
+}
+
 // pairChunk materializes candidate pairs over the concatenated schema
 // for residual evaluation.
-func pairChunk(left, right *storage.Chunk, li, ri []int) *storage.Chunk {
+func pairChunk(left, right *storage.Chunk, li, ri []int, workers int) *storage.Chunk {
 	out := &storage.Chunk{}
 	out.Schema = append(append(storage.Schema{}, left.Schema...), right.Schema...)
 	for _, c := range left.Cols {
-		out.Cols = append(out.Cols, c.Gather(li))
+		out.Cols = append(out.Cols, c.GatherP(li, workers))
 	}
 	for _, c := range right.Cols {
-		out.Cols = append(out.Cols, c.Gather(ri))
+		out.Cols = append(out.Cols, c.GatherP(ri, workers))
 	}
 	return out
 }
 
 // joinOutput materializes the (li, ri) pairs; ri == -1 null-extends
 // the right side (left outer join).
-func joinOutput(j *plan.Join, left, right *storage.Chunk, li, ri []int) *storage.Chunk {
+func joinOutput(j *plan.Join, left, right *storage.Chunk, li, ri []int, ctx *Context) *storage.Chunk {
+	workers := ctx.workers(len(li))
 	out := &storage.Chunk{Schema: j.Schema()}
 	for _, c := range left.Cols {
-		out.Cols = append(out.Cols, c.Gather(li))
+		out.Cols = append(out.Cols, c.GatherP(li, workers))
 	}
-	for cIdx, c := range right.Cols {
-		oc := storage.NewColumn(right.Schema[cIdx].Kind, len(ri))
-		for _, r := range ri {
-			if r < 0 {
-				oc.AppendNull()
-			} else {
-				oc.Append(c.Get(r))
-			}
-		}
-		out.Cols = append(out.Cols, oc)
+	for _, c := range right.Cols {
+		out.Cols = append(out.Cols, c.GatherNullExtend(ri, workers))
 	}
 	return out
 }
 
-func crossJoin(j *plan.Join, left, right *storage.Chunk) *storage.Chunk {
+func crossJoin(j *plan.Join, left, right *storage.Chunk, ctx *Context) *storage.Chunk {
 	nl, nr := left.NumRows(), right.NumRows()
-	li := make([]int, 0, nl*nr)
-	ri := make([]int, 0, nl*nr)
-	for a := 0; a < nl; a++ {
-		for b := 0; b < nr; b++ {
-			li = append(li, a)
-			ri = append(ri, b)
+	total := nl * nr
+	li := make([]int, total)
+	ri := make([]int, total)
+	par.Ranges(ctx.workers(total), total, func(_, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			li[t] = t / nr
+			ri[t] = t % nr
 		}
-	}
-	return joinOutput(j, left, right, li, ri)
+	})
+	return joinOutput(j, left, right, li, ri, ctx)
 }
 
 // condJoin implements inner and left outer joins: hash-based when the
@@ -230,7 +298,7 @@ func condJoin(j *plan.Join, left, right *storage.Chunk, ctx *Context) (*storage.
 		// Keep output deterministic: order by left row, then right.
 		li, ri = sortPairs(li, ri)
 	}
-	return joinOutput(j, left, right, li, ri), nil
+	return joinOutput(j, left, right, li, ri, ctx), nil
 }
 
 // sortPairs orders join output pairs for stable results.
@@ -240,45 +308,14 @@ func sortPairs(li, ri []int) ([]int, []int) {
 	for i := range li {
 		ps[i] = pair{li[i], ri[i]}
 	}
-	// insertion-friendly stable sort
-	sortSlice(ps, func(x, y pair) bool {
-		if x.a != y.a {
-			return x.a < y.a
+	slices.SortFunc(ps, func(x, y pair) int {
+		if c := cmp.Compare(x.a, y.a); c != 0 {
+			return c
 		}
-		return x.b < y.b
+		return cmp.Compare(x.b, y.b)
 	})
 	for i, p := range ps {
 		li[i], ri[i] = p.a, p.b
 	}
 	return li, ri
-}
-
-// sortSlice is a tiny generic stable merge sort to avoid pulling
-// reflection-based sorting into the hot path.
-func sortSlice[T any](s []T, less func(a, b T) bool) {
-	if len(s) < 2 {
-		return
-	}
-	mid := len(s) / 2
-	leftHalf := append([]T(nil), s[:mid]...)
-	rightHalf := append([]T(nil), s[mid:]...)
-	sortSlice(leftHalf, less)
-	sortSlice(rightHalf, less)
-	i, jj := 0, 0
-	for k := range s {
-		switch {
-		case i >= len(leftHalf):
-			s[k] = rightHalf[jj]
-			jj++
-		case jj >= len(rightHalf):
-			s[k] = leftHalf[i]
-			i++
-		case less(rightHalf[jj], leftHalf[i]):
-			s[k] = rightHalf[jj]
-			jj++
-		default:
-			s[k] = leftHalf[i]
-			i++
-		}
-	}
 }

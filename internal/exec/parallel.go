@@ -1,0 +1,248 @@
+package exec
+
+import (
+	"sort"
+
+	"graphsql/internal/par"
+	"graphsql/internal/storage"
+)
+
+// The relational operators opt into Context.Parallelism with the same
+// discipline as the shortest-path runtime (internal/graph): a
+// sequential fast path below a size threshold, work partitioned over
+// disjoint output locations, and per-range results merged in a fixed
+// order — so every operator's output is bit-identical to its
+// sequential execution at any worker count.
+
+// minParallelRows gates the parallel paths of the relational
+// operators; inputs below it run the original sequential code. A
+// variable (not a const) so tests and benchmarks can lower it to force
+// the parallel paths on small corpora; see SetMinParallelRows.
+var minParallelRows = 1 << 13
+
+// SetMinParallelRows overrides the parallel-operator gate and returns
+// the previous value. Intended for tests and benchmarks; not safe to
+// call concurrently with query execution.
+func SetMinParallelRows(n int) int {
+	prev := minParallelRows
+	minParallelRows = n
+	return prev
+}
+
+// workers resolves the worker count for an operator over n rows: 1
+// below the gate, the context's budget otherwise.
+func (ctx *Context) workers(n int) int {
+	if n < minParallelRows {
+		return 1
+	}
+	return par.Workers(ctx.Parallelism)
+}
+
+// FNV-1a, used to shard rows by hash key. The shard assignment never
+// influences operator output (shards are either merged in ascending
+// row order or independent by construction), so the hash only has to
+// be deterministic within one process.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// rowKeys holds the precomputed hash key and shard hash of every row
+// of an operator input, built in parallel over contiguous ranges.
+type rowKeys struct {
+	keys   []string
+	hashes []uint64
+	// invalid is non-nil when rows with NULL key columns are skipped
+	// (join semantics: NULL never matches); such rows have no key.
+	invalid []bool
+}
+
+// shard maps row i onto one of the given shards.
+func (rk *rowKeys) shard(i, shards int) int {
+	return int(rk.hashes[i] % uint64(shards))
+}
+
+// encodeRowKeys precomputes the self-delimiting encodeKey bytes (as a
+// string) and their hash for every row over the given key columns.
+func encodeRowKeys(cols []*storage.Column, n int, skipNulls bool, workers int) *rowKeys {
+	rk := &rowKeys{keys: make([]string, n), hashes: make([]uint64, n)}
+	if skipNulls {
+		rk.invalid = make([]bool, n)
+	}
+	par.Ranges(workers, n, func(_, lo, hi int) {
+		var buf []byte
+		for i := lo; i < hi; i++ {
+			if skipNulls {
+				null := false
+				for _, c := range cols {
+					if c.IsNull(i) {
+						null = true
+						break
+					}
+				}
+				if null {
+					rk.invalid[i] = true
+					continue
+				}
+			}
+			buf = buf[:0]
+			for _, c := range cols {
+				buf = encodeKey(buf, c, i)
+			}
+			rk.keys[i] = string(buf)
+			rk.hashes[i] = fnv64(buf)
+		}
+	})
+	return rk
+}
+
+// shardRows buckets the row indices [0, n) by shard, each list in
+// ascending order; rows marked invalid are dropped. Built with one
+// parallel bucketing pass (per-range lists concatenated in range
+// order) so shard workers visit only their own rows instead of
+// re-scanning the whole input.
+func (rk *rowKeys) shardRows(shards, workers, n int) [][]int {
+	nRanges := par.NumRanges(workers, n)
+	locals := make([][][]int, nRanges)
+	par.Ranges(workers, n, func(w, lo, hi int) {
+		lists := make([][]int, shards)
+		for i := lo; i < hi; i++ {
+			if rk.invalid != nil && rk.invalid[i] {
+				continue
+			}
+			s := rk.shard(i, shards)
+			lists[s] = append(lists[s], i)
+		}
+		locals[w] = lists
+	})
+	out := make([][]int, shards)
+	par.Indexed(workers, shards, func(_, s int) {
+		total := 0
+		for _, l := range locals {
+			total += len(l[s])
+		}
+		list := make([]int, 0, total)
+		for _, l := range locals {
+			list = append(list, l[s]...)
+		}
+		out[s] = list
+	})
+	return out
+}
+
+// mergeAscending merges per-shard row-index lists into one ascending
+// list. The shards partition a dense id domain [0, n), so a boolean
+// mask plus one linear scan recovers the ascending order in O(n) —
+// the same list a sequential scan would have kept, without the
+// O(n × shards) head-scan of a naive k-way merge.
+func mergeAscending(shards [][]int, n int) []int {
+	total := 0
+	nonEmpty := 0
+	for _, s := range shards {
+		total += len(s)
+		if len(s) > 0 {
+			nonEmpty++
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	if nonEmpty == 1 {
+		for _, s := range shards {
+			if len(s) > 0 {
+				return s
+			}
+		}
+	}
+	mask := make([]bool, n)
+	for _, s := range shards {
+		for _, i := range s {
+			mask[i] = true
+		}
+	}
+	out := make([]int, 0, total)
+	for i, keep := range mask {
+		if keep {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// parallelMergeSort stably sorts idx under less using one sorted run
+// per worker followed by rounds of pairwise parallel merges. Ties take
+// the element from the earlier run, so the result is the unique stable
+// order — identical to sort.SliceStable for any worker count.
+func parallelMergeSort(idx []int, less func(a, b int) bool, workers int) {
+	n := len(idx)
+	nRuns := par.NumRanges(workers, n)
+	if nRuns <= 1 {
+		sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+		return
+	}
+	bounds := make([]int, 1, nRuns+1)
+	for w := 0; w < nRuns; w++ {
+		_, hi := par.RangeBounds(workers, n, w)
+		bounds = append(bounds, hi)
+	}
+	par.Indexed(workers, nRuns, func(_, r int) {
+		seg := idx[bounds[r]:bounds[r+1]]
+		sort.SliceStable(seg, func(a, b int) bool { return less(seg[a], seg[b]) })
+	})
+	src, dst := idx, make([]int, n)
+	for len(bounds) > 2 {
+		type job struct{ lo, mid, hi int }
+		var jobs []job
+		nb := make([]int, 1, len(bounds)/2+2)
+		i := 0
+		for ; i+2 < len(bounds); i += 2 {
+			jobs = append(jobs, job{bounds[i], bounds[i+1], bounds[i+2]})
+			nb = append(nb, bounds[i+2])
+		}
+		if i+1 < len(bounds) {
+			// Odd run count: the last run has no partner this round.
+			jobs = append(jobs, job{bounds[i], bounds[i+1], bounds[i+1]})
+			nb = append(nb, bounds[i+1])
+		}
+		par.Indexed(workers, len(jobs), func(_, j int) {
+			jb := jobs[j]
+			mergeRuns(dst[jb.lo:jb.hi], src[jb.lo:jb.mid], src[jb.mid:jb.hi], less)
+		})
+		src, dst = dst, src
+		bounds = nb
+	}
+	if &src[0] != &idx[0] {
+		copy(idx, src)
+	}
+}
+
+// mergeRuns stably merges the sorted runs a and b into out; ties take
+// from a (the earlier run).
+func mergeRuns(out, a, b []int, less func(x, y int) bool) {
+	i, j := 0, 0
+	for k := range out {
+		switch {
+		case i >= len(a):
+			out[k] = b[j]
+			j++
+		case j >= len(b):
+			out[k] = a[i]
+			i++
+		case less(b[j], a[i]):
+			out[k] = b[j]
+			j++
+		default:
+			out[k] = a[i]
+			i++
+		}
+	}
+}

@@ -1,10 +1,6 @@
 package graph
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "graphsql/internal/par"
 
 // Parallelism knobs of the shortest-path runtime. A parallelism value
 // of 0 (the default everywhere) resolves to runtime.GOMAXPROCS(0);
@@ -12,7 +8,9 @@ import (
 // by size thresholds so small interactive inputs never pay goroutine
 // overhead, and all of them produce results bit-identical to the
 // sequential code: work is only ever partitioned over disjoint output
-// ranges, never reordered within one.
+// ranges, never reordered within one. The distribution primitives
+// themselves live in internal/par, shared with the relational
+// operators and result materialization.
 const (
 	// minParallelSolveWork gates the parallel solver: the estimated
 	// traversal work (source groups × graph size) must exceed it.
@@ -25,73 +23,12 @@ const (
 
 // resolveWorkers maps a Parallelism option onto a concrete worker
 // count: values <= 0 mean one worker per available CPU.
-func resolveWorkers(parallelism int) int {
-	if parallelism <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return parallelism
-}
+func resolveWorkers(parallelism int) int { return par.Workers(parallelism) }
 
 // runIndexed drains n indexed work items over the given number of
-// workers using an atomic work-stealing cursor. Item order across
-// workers is unspecified; callers must write to disjoint output
-// locations per item. With one worker (or one item) it degrades to a
-// plain loop.
-func runIndexed(workers, n int, f func(worker, item int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(0, i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				f(worker, i)
-			}
-		}(w)
-	}
-	wg.Wait()
-}
+// workers using an atomic work-stealing cursor; see par.Indexed.
+func runIndexed(workers, n int, f func(worker, item int)) { par.Indexed(workers, n, f) }
 
 // runRanges splits [0, n) into one contiguous range per worker and
-// runs them concurrently; used where each worker owns a chunk (CSR
-// scatter) rather than stealing items.
-func runRanges(workers, n int, f func(worker, lo, hi int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		f(0, 0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(worker, lo, hi int) {
-			defer wg.Done()
-			f(worker, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-}
+// runs them concurrently; see par.Ranges.
+func runRanges(workers, n int, f func(worker, lo, hi int)) { par.Ranges(workers, n, f) }

@@ -1,0 +1,130 @@
+// Package par provides the deterministic work-distribution primitives
+// shared by every parallel code path in the engine: the shortest-path
+// runtime, graph construction, result materialization and the
+// relational operators. The contract is always the same: work is
+// partitioned over disjoint output locations and merged (if at all) in
+// a fixed order, so results are bit-identical at every worker count.
+// With one worker (or one item) every primitive degrades to a plain
+// loop with zero goroutine overhead.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers maps a Parallelism option onto a concrete worker count:
+// values <= 0 mean one worker per available CPU.
+func Workers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// Indexed drains n indexed work items over the given number of workers
+// using an atomic work-stealing cursor. Item order across workers is
+// unspecified; callers must write to disjoint output locations per
+// item. With one worker (or one item) it degrades to a plain loop.
+func Indexed(workers, n int, f func(worker, item int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Ranges splits [0, n) into one contiguous range per worker and runs
+// them concurrently; used where each worker owns a chunk of the input
+// or output rather than stealing items. Range boundaries depend only on
+// (workers, n), so callers that merge per-range results in range order
+// get deterministic output for a fixed worker count — and callers whose
+// merge is order-insensitive get it for every worker count.
+func Ranges(workers, n int, f func(worker, lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			f(0, 0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(worker, lo, hi int) {
+			defer wg.Done()
+			f(worker, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// RangeBounds returns the (lo, hi) bounds Ranges would hand to worker w
+// of the given worker count; exposed so callers can preallocate
+// per-range result slots and merge them in range order.
+func RangeBounds(workers, n, w int) (lo, hi int) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return 0, n
+	}
+	chunk := (n + workers - 1) / workers
+	lo = w * chunk
+	hi = lo + chunk
+	if hi > n {
+		hi = n
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// NumRanges returns how many non-empty ranges Ranges produces for the
+// given worker count and item count.
+func NumRanges(workers, n int) int {
+	if n == 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return 1
+	}
+	chunk := (n + workers - 1) / workers
+	return (n + chunk - 1) / chunk
+}

@@ -91,6 +91,24 @@ func (c *Chunk) Gather(rows []int) *Chunk {
 	return out
 }
 
+// GatherP is Gather with each column's copies partitioned over up to
+// workers goroutines; identical output at every worker count.
+func (c *Chunk) GatherP(rows []int, workers int) *Chunk {
+	out := &Chunk{Schema: c.Schema, Cols: make([]*Column, len(c.Cols))}
+	for j, col := range c.Cols {
+		out.Cols[j] = col.GatherP(rows, workers)
+	}
+	return out
+}
+
+// Extend appends every row of o, which must share c's column kinds, to
+// c.
+func (c *Chunk) Extend(o *Chunk) {
+	for j, col := range c.Cols {
+		col.Extend(o.Cols[j])
+	}
+}
+
 // FilterByMask returns the rows whose mask entry is true.
 func (c *Chunk) FilterByMask(mask []bool) *Chunk {
 	rows := make([]int, 0, len(mask))

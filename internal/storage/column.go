@@ -8,6 +8,7 @@ package storage
 import (
 	"fmt"
 
+	"graphsql/internal/par"
 	"graphsql/internal/types"
 )
 
@@ -198,6 +199,150 @@ func (c *Column) Gather(rows []int) *Column {
 		}
 	}
 	return out
+}
+
+// GatherP is Gather with the copies partitioned over up to workers
+// goroutines in contiguous output ranges; the result is identical to
+// Gather at every worker count. Callers gate by size — with workers
+// <= 1 (or few rows) it degrades to a plain loop.
+func (c *Column) GatherP(rows []int, workers int) *Column {
+	if workers <= 1 {
+		return c.Gather(rows)
+	}
+	n := len(rows)
+	out := &Column{Kind: c.Kind, n: n}
+	switch c.Kind {
+	case types.KindFloat:
+		out.Floats = make([]float64, n)
+	case types.KindString:
+		out.Strs = make([]string, n)
+	case types.KindPath:
+		out.Paths = make([]*types.Path, n)
+	default:
+		out.Ints = make([]int64, n)
+	}
+	if c.Nulls != nil {
+		out.Nulls = make([]bool, n)
+	}
+	par.Ranges(workers, n, func(_, lo, hi int) {
+		switch c.Kind {
+		case types.KindFloat:
+			for i := lo; i < hi; i++ {
+				out.Floats[i] = c.Floats[rows[i]]
+			}
+		case types.KindString:
+			for i := lo; i < hi; i++ {
+				out.Strs[i] = c.Strs[rows[i]]
+			}
+		case types.KindPath:
+			for i := lo; i < hi; i++ {
+				out.Paths[i] = c.Paths[rows[i]]
+			}
+		default:
+			for i := lo; i < hi; i++ {
+				out.Ints[i] = c.Ints[rows[i]]
+			}
+		}
+		if c.Nulls != nil {
+			for i := lo; i < hi; i++ {
+				out.Nulls[i] = c.Nulls[rows[i]]
+			}
+		}
+	})
+	return out
+}
+
+// GatherNullExtend is GatherP where a row index of -1 yields a NULL
+// entry (left-outer-join null extension). The null mask is dropped
+// when no output entry is NULL, matching what an append-based copy
+// would have produced.
+func (c *Column) GatherNullExtend(rows []int, workers int) *Column {
+	n := len(rows)
+	out := &Column{Kind: c.Kind, n: n, Nulls: make([]bool, n)}
+	switch c.Kind {
+	case types.KindFloat:
+		out.Floats = make([]float64, n)
+	case types.KindString:
+		out.Strs = make([]string, n)
+	case types.KindPath:
+		out.Paths = make([]*types.Path, n)
+	default:
+		out.Ints = make([]int64, n)
+	}
+	par.Ranges(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := rows[i]
+			if r < 0 || c.IsNull(r) {
+				out.Nulls[i] = true
+				continue
+			}
+			switch c.Kind {
+			case types.KindFloat:
+				out.Floats[i] = c.Floats[r]
+			case types.KindString:
+				out.Strs[i] = c.Strs[r]
+			case types.KindPath:
+				out.Paths[i] = c.Paths[r]
+			default:
+				out.Ints[i] = c.Ints[r]
+			}
+		}
+	})
+	hasNull := false
+	for _, b := range out.Nulls {
+		if b {
+			hasNull = true
+			break
+		}
+	}
+	if !hasNull {
+		out.Nulls = nil
+	}
+	return out
+}
+
+// Extend appends every entry of src, which must have the same kind, to
+// c; equivalent to appending src's rows one by one.
+func (c *Column) Extend(src *Column) {
+	if c.Nulls != nil || src.Nulls != nil {
+		c.ensureNulls()
+		if src.Nulls != nil {
+			c.Nulls = append(c.Nulls, src.Nulls...)
+		} else {
+			c.Nulls = append(c.Nulls, make([]bool, src.n)...)
+		}
+	}
+	switch c.Kind {
+	case types.KindFloat:
+		c.Floats = append(c.Floats, src.Floats...)
+	case types.KindString:
+		c.Strs = append(c.Strs, src.Strs...)
+	case types.KindPath:
+		c.Paths = append(c.Paths, src.Paths...)
+	default:
+		c.Ints = append(c.Ints, src.Ints...)
+	}
+	c.n += src.n
+}
+
+// ColumnFromInts wraps a fully built integer-backed payload slice
+// (KindInt, KindBool or KindDate) as a non-NULL column, taking
+// ownership of the slice. Used by parallel materialization paths that
+// fill disjoint ranges directly.
+func ColumnFromInts(kind types.Kind, ints []int64) *Column {
+	return &Column{Kind: kind, Ints: ints, n: len(ints)}
+}
+
+// ColumnFromFloats wraps a fully built float payload slice as a
+// non-NULL KindFloat column, taking ownership of the slice.
+func ColumnFromFloats(fs []float64) *Column {
+	return &Column{Kind: types.KindFloat, Floats: fs, n: len(fs)}
+}
+
+// ColumnFromPaths wraps a fully built path payload slice as a non-NULL
+// KindPath column, taking ownership of the slice.
+func ColumnFromPaths(ps []*types.Path) *Column {
+	return &Column{Kind: types.KindPath, Paths: ps, n: len(ps)}
 }
 
 // Slice returns a copy of entries [lo, hi).

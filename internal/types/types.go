@@ -5,6 +5,7 @@ package types
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -156,12 +157,23 @@ func (v Value) String() string {
 }
 
 // Compare orders two non-NULL values of the same comparable kind.
-// It returns -1, 0 or +1. Int and float compare numerically across kinds.
+// It returns -1, 0 or +1. Int and float compare numerically across
+// kinds. NaN sorts after every other float and equals itself (the
+// PostgreSQL convention), keeping Compare a total order — sorting,
+// MIN/MAX and the parallel operators' determinism guarantee all
+// require transitivity, which IEEE NaN comparisons would break.
 func Compare(a, b Value) int {
 	switch {
 	case a.K == KindFloat || b.K == KindFloat:
 		af, bf := a.AsFloat(), b.AsFloat()
+		an, bn := math.IsNaN(af), math.IsNaN(bf)
 		switch {
+		case an && bn:
+			return 0
+		case an:
+			return 1
+		case bn:
+			return -1
 		case af < bf:
 			return -1
 		case af > bf:

@@ -6,6 +6,9 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"graphsql/internal/core"
+	"graphsql/internal/exec"
 )
 
 // refGraph is an adjacency-list oracle with Bellman-Ford shortest
@@ -63,8 +66,13 @@ func randomRefGraph(seed int64) *refGraph {
 
 // loadRefGraph loads the oracle graph into a fresh database.
 func loadRefGraph(t testing.TB, g *refGraph) *DB {
+	return loadRefGraphP(t, g, 0)
+}
+
+// loadRefGraphP is loadRefGraph with an explicit parallelism budget.
+func loadRefGraphP(t testing.TB, g *refGraph, parallelism int) *DB {
 	t.Helper()
-	db := Open()
+	db := Open(WithParallelism(parallelism))
 	db.MustExec(`CREATE TABLE e (s BIGINT, d BIGINT, w BIGINT)`)
 	if len(g.edges) == 0 {
 		return db
@@ -178,6 +186,73 @@ func TestPropertySQLBatchedEqualsSinglePair(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// parallelEquivalenceQueries are the random-plan shapes of the
+// parallel-vs-sequential property test: every parallelized operator
+// (hash join, aggregation, sort, DISTINCT, set operations, graph match
+// with path materialization) over the random oracle graph's edge
+// table. Queries without ORDER BY rely on the engine's determinism
+// guarantee — which is exactly what is being tested.
+var parallelEquivalenceQueries = []string{
+	`SELECT s, COUNT(*), SUM(w), MIN(d), MAX(w), AVG(w) FROM e GROUP BY s`,
+	`SELECT COUNT(*), SUM(w), AVG(w), COUNT(DISTINCT s) FROM e`,
+	`SELECT DISTINCT s, d FROM e`,
+	`SELECT a.s, a.d, b.d, a.w + b.w FROM e a JOIN e b ON a.d = b.s`,
+	`SELECT a.s, b.w FROM e a LEFT JOIN e b ON a.d = b.s AND b.w > 5`,
+	`SELECT a.s, b.s FROM e a JOIN e b ON a.w = b.w AND a.s < b.d`,
+	`SELECT s, d, w FROM e ORDER BY w DESC, s, d`,
+	`SELECT s FROM e UNION SELECT d FROM e`,
+	`SELECT s FROM e UNION ALL SELECT d FROM e`,
+	`SELECT s FROM e EXCEPT ALL SELECT d FROM e`,
+	`SELECT s, d FROM e INTERSECT SELECT d, s FROM e`,
+	`SELECT x.s, x.d, CHEAPEST SUM(f: w) AS c FROM e x
+	 WHERE x.s REACHES x.d OVER e f EDGE (s, d) ORDER BY c DESC, x.s, x.d`,
+	`SELECT q.s, SUM(r.w) FROM (
+	   SELECT x.s, x.d, CHEAPEST SUM(f: w) AS (c, p) FROM e x
+	   WHERE x.s REACHES x.d OVER e f EDGE (s, d)
+	 ) q, UNNEST(q.p) AS r GROUP BY q.s`,
+	`SELECT s % 3, COUNT(*), MIN(w) FROM e WHERE d >= 0 GROUP BY s % 3 HAVING COUNT(*) > 1`,
+}
+
+// TestPropertyParallelEquivalence runs the full SQL pipeline over
+// random graphs twice — sequentially and over a worker pool with the
+// parallel-operator gates lowered — and requires byte-identical result
+// renderings for every plan shape.
+func TestPropertyParallelEquivalence(t *testing.T) {
+	prevExec := exec.SetMinParallelRows(1)
+	prevCore := core.SetMinParallelOutputRows(1)
+	t.Cleanup(func() {
+		exec.SetMinParallelRows(prevExec)
+		core.SetMinParallelOutputRows(prevCore)
+	})
+	f := func(seed int64) bool {
+		g := randomRefGraph(seed)
+		if len(g.edges) == 0 {
+			return true
+		}
+		seq := loadRefGraphP(t, g, 1)
+		par := loadRefGraphP(t, g, 8)
+		for _, q := range parallelEquivalenceQueries {
+			want, err := seq.Query(q)
+			if err != nil {
+				t.Fatalf("seed %d: sequential: %v\nquery: %s", seed, err, q)
+			}
+			got, err := par.Query(q)
+			if err != nil {
+				t.Fatalf("seed %d: parallel: %v\nquery: %s", seed, err, q)
+			}
+			if got.String() != want.String() {
+				t.Logf("seed %d: parallel output diverges\nquery: %s\n--- sequential\n%s--- parallel\n%s",
+					seed, q, want.String(), got.String())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
 		t.Fatal(err)
 	}
 }
