@@ -1,0 +1,143 @@
+// Command benchdiff compares -exp parallel / -exp execpar JSON
+// artifacts against a committed baseline (bench_baseline.json) and
+// fails when a configuration's self-relative speedup regressed by more
+// than the threshold. Speedups — not absolute seconds — are compared,
+// so the check is meaningful across hosts of the same shape; points
+// whose baseline carries no parallel signal (speedup ≤ the signal
+// floor, e.g. a single-core recording host) are skipped and reported.
+//
+//	go run ./cmd/benchdiff -baseline bench_baseline.json \
+//	    -parallel parallel.json -execpar execpar.json
+//
+// Record a fresh baseline with -record:
+//
+//	go run ./cmd/benchdiff -record -baseline bench_baseline.json \
+//	    -parallel parallel.json -execpar execpar.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"graphsql/internal/bench"
+)
+
+// Baseline is the committed perf-trajectory reference: the two bench
+// artifacts plus a note about the host that recorded them.
+type Baseline struct {
+	Host     string                `json:"host"`
+	Parallel []bench.ParallelPoint `json:"parallel"`
+	ExecPar  []bench.ExecParPoint  `json:"execpar"`
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_baseline.json", "baseline file")
+	parallelPath := flag.String("parallel", "", "-exp parallel artifact")
+	execparPath := flag.String("execpar", "", "-exp execpar artifact")
+	threshold := flag.Float64("max-regression", 0.25, "fail when speedup drops by more than this fraction")
+	signalFloor := flag.Float64("signal-floor", 1.05, "skip baseline points whose speedup is below this (no parallel signal)")
+	minSeconds := flag.Float64("min-seconds", 0.002, "skip points faster than this (scheduler noise)")
+	record := flag.Bool("record", false, "write the artifacts as the new baseline instead of comparing")
+	host := flag.String("host", "", "host label stored with -record")
+	flag.Parse()
+
+	var cur Baseline
+	if *parallelPath != "" {
+		if err := readJSON(*parallelPath, &cur.Parallel); err != nil {
+			fatal(err)
+		}
+	}
+	if *execparPath != "" {
+		if err := readJSON(*execparPath, &cur.ExecPar); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *record {
+		cur.Host = *host
+		data, err := json.MarshalIndent(&cur, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("baseline recorded to %s (%d parallel, %d execpar points)\n",
+			*baselinePath, len(cur.Parallel), len(cur.ExecPar))
+		return
+	}
+
+	var base Baseline
+	if err := readJSON(*baselinePath, &base); err != nil {
+		fatal(err)
+	}
+
+	type point struct {
+		speedup float64
+		seconds float64
+	}
+	basePar := map[string]point{}
+	for _, p := range base.Parallel {
+		basePar[fmt.Sprintf("sf%d/batch%d/w%d", p.SF, p.Batch, p.Workers)] = point{p.Speedup, p.QuerySeconds}
+	}
+	baseExec := map[string]point{}
+	for _, p := range base.ExecPar {
+		baseExec[fmt.Sprintf("%s/sf%d/w%d", p.Workload, p.SF, p.Workers)] = point{p.Speedup, p.Seconds}
+	}
+
+	compared, skipped, failures := 0, 0, 0
+	check := func(key string, b point, speedup, seconds float64) {
+		if b.speedup < *signalFloor || b.seconds < *minSeconds || seconds < *minSeconds {
+			skipped++
+			return
+		}
+		compared++
+		drop := 1 - speedup/b.speedup
+		status := "ok"
+		if drop > *threshold {
+			failures++
+			status = "REGRESSION"
+		}
+		fmt.Printf("%-40s baseline %6.3fx  now %6.3fx  drop %+6.1f%%  %s\n",
+			key, b.speedup, speedup, drop*100, status)
+	}
+	for _, p := range cur.Parallel {
+		key := fmt.Sprintf("sf%d/batch%d/w%d", p.SF, p.Batch, p.Workers)
+		if b, ok := basePar[key]; ok {
+			check(key, b, p.Speedup, p.QuerySeconds)
+		} else {
+			skipped++
+		}
+	}
+	for _, p := range cur.ExecPar {
+		key := fmt.Sprintf("%s/sf%d/w%d", p.Workload, p.SF, p.Workers)
+		if b, ok := baseExec[key]; ok {
+			check(key, b, p.Speedup, p.Seconds)
+		} else {
+			skipped++
+		}
+	}
+	fmt.Printf("\nbenchdiff: %d compared, %d skipped (no baseline match or below signal/noise floors), %d regression(s)\n",
+		compared, skipped, failures)
+	if base.Host != "" {
+		fmt.Printf("baseline host: %s\n", base.Host)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

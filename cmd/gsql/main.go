@@ -18,10 +18,12 @@ import (
 	"strings"
 
 	"graphsql"
+	"graphsql/internal/wire"
 )
 
 func main() {
 	file := flag.String("f", "", "run a SQL script instead of the REPL")
+	jsonOut := flag.Bool("json", false, "emit results as wire JSON (the gsqld response encoding), one object per statement")
 	flag.Parse()
 
 	db := graphsql.Open()
@@ -32,6 +34,12 @@ func main() {
 			os.Exit(1)
 		}
 		res, err := db.ExecScript(string(data))
+		if *jsonOut {
+			if !printWire(res, err) {
+				os.Exit(1)
+			}
+			return
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -70,6 +78,8 @@ func main() {
 			buf.Reset()
 			res, err := db.ExecScript(sql)
 			switch {
+			case *jsonOut:
+				printWire(res, err)
 			case err != nil:
 				fmt.Println("error:", err)
 			case res != nil && len(res.Columns) > 0:
@@ -81,6 +91,27 @@ func main() {
 		}
 		prompt()
 	}
+}
+
+// printWire renders one statement outcome in the shared wire encoding
+// (identical to a gsqld /query response body); it reports success.
+func printWire(res *graphsql.Result, err error) bool {
+	var payload *wire.QueryResponse
+	if err != nil {
+		payload = wire.FromError(wire.CodeSQL, err)
+	} else {
+		if res == nil {
+			res = &graphsql.Result{}
+		}
+		payload = wire.FromResult(res)
+	}
+	data, encErr := payload.Encode()
+	if encErr != nil {
+		fmt.Fprintln(os.Stderr, encErr)
+		return false
+	}
+	fmt.Println(string(data))
+	return err == nil
 }
 
 // runMeta executes a backslash command; it returns true on quit.

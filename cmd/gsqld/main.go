@@ -1,0 +1,85 @@
+// Command gsqld serves the graphsql engine over HTTP as a long-running
+// query service: a named multi-graph registry with copy-on-swap
+// reloads, per-session prepared plans and settings, and an
+// admission-control scheduler that divides the machine's worker budget
+// across concurrent queries.
+//
+//	$ gsqld -addr :8765 -load social.sql
+//	$ curl -s localhost:8765/healthz
+//	$ curl -s -X POST localhost:8765/query \
+//	    -d '{"sql": "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER knows EDGE (src, dst)", "args": [1, 42]}'
+//
+// See the README's "Running as a server" section for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"graphsql/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8765", "listen address")
+	graphName := flag.String("graph", "default", "name of the default graph")
+	load := flag.String("load", "", "SQL script file loaded into the default graph at startup")
+	parallelism := flag.Int("parallelism", 0, "engine worker budget per graph (0 = one per CPU)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "max queries waiting for admission (0 = 4x max-inflight)")
+	totalWorkers := flag.Int("workers", 0, "total worker budget divided across queries (0 = GOMAXPROCS)")
+	perQuery := flag.Int("per-query-workers", 0, "per-query worker cap (0 = total budget)")
+	timeout := flag.Duration("timeout", 0, "per-query execution timeout (0 = none)")
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		DefaultGraph:    *graphName,
+		Parallelism:     *parallelism,
+		MaxInFlight:     *maxInFlight,
+		QueueDepth:      *queueDepth,
+		TotalWorkers:    *totalWorkers,
+		PerQueryWorkers: *perQuery,
+		QueryTimeout:    *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *load != "" {
+		script, err := os.ReadFile(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, tables, err := srv.Registry().Load(*graphName, string(script), nil)
+		if err != nil {
+			log.Fatalf("loading %s: %v", *load, err)
+		}
+		log.Printf("graph %q loaded from %s: %d table(s), generation %d", *graphName, *load, tables, gen)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	log.Printf("gsqld listening on %s (default graph %q)", *addr, *graphName)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("received %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+}

@@ -41,9 +41,27 @@
 // test harness holds every operator to that guarantee. Small inputs
 // take a sequential fast path regardless, so point queries pay no
 // goroutine overhead.
+//
+// # Serving
+//
+// For service workloads, SELECTs run concurrently under a read lock
+// while writes serialize, QueryCtx threads a context.Context through
+// execution (cancellation at operator and solver chunk boundaries),
+// and Session handles add session-scoped settings (SET parallelism)
+// plus a prepared parse+plan cache:
+//
+//	s := db.Session()
+//	s.Query(ctx, `SET parallelism = 2`)          // this session only
+//	res, err := s.Query(ctx, `SELECT ...`, args) // cached plan on repeat
+//
+// cmd/gsqld exposes all of this over HTTP — a multi-graph registry
+// with copy-on-swap reloads and an admission-control scheduler — via
+// the structured encoding of internal/wire; see the README's "Running
+// as a server".
 package graphsql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -54,8 +72,11 @@ import (
 	"graphsql/internal/types"
 )
 
-// DB is an embedded in-memory database. It is safe for concurrent use;
-// statements are serialized internally.
+// DB is an embedded in-memory database. It is safe for concurrent use:
+// SELECT statements run concurrently under a read lock, while DDL/DML
+// (and engine-wide SET) serialize under the write lock. Long-running
+// services should prefer Session handles, which add per-session
+// settings and a prepared-plan cache on top.
 type DB struct {
 	mu  sync.RWMutex
 	eng *engine.Engine
@@ -206,13 +227,40 @@ func (db *DB) MustExec(sql string, args ...any) {
 // Supported argument types: int, int32, int64, float32, float64,
 // string, bool, time.Time (bound as DATE), and nil.
 func (db *DB) Query(sql string, args ...any) (*Result, error) {
+	return db.QueryCtx(context.Background(), sql, args...)
+}
+
+// QueryCtx is Query with a cancellation context: when ctx is canceled
+// (client disconnect, timeout) execution stops at the next operator or
+// solver chunk boundary and returns the context's error. SELECT
+// statements run under the read lock — concurrent with each other —
+// while everything else takes the write lock.
+func (db *DB) QueryCtx(ctx context.Context, sql string, args ...any) (*Result, error) {
 	params, err := bindArgs(args)
 	if err != nil {
 		return nil, err
 	}
+	db.mu.RLock()
+	p, err := db.eng.Prepare(sql, params...)
+	if err != nil {
+		db.mu.RUnlock()
+		return nil, err
+	}
+	if p.IsSelect() {
+		defer db.mu.RUnlock()
+		chunk, err := db.eng.ExecPrepared(ctx, p, nil, params...)
+		if err != nil {
+			return nil, err
+		}
+		return chunkToResult(chunk), nil
+	}
+	db.mu.RUnlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	chunk, err := db.eng.Query(sql, params...)
+	// Writes re-execute the parsed statement under the write lock;
+	// non-SELECT statements carry no bound plan, so binding happens
+	// here against the current catalog.
+	chunk, err := db.eng.ExecPrepared(ctx, p, nil, params...)
 	if err != nil {
 		return nil, err
 	}
@@ -282,6 +330,21 @@ func (db *DB) DropGraphIndexes(table string) {
 // Engine exposes the underlying engine for advanced embedding
 // (benchmark harnesses, instrumentation). Most callers never need it.
 func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// TableStats reports the table count and total row count under the
+// read lock; used by monitoring endpoints that must not race writers.
+func (db *DB) TableStats() (tables, rows int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	cat := db.eng.Catalog()
+	for _, tn := range cat.TableNames() {
+		if t, ok := cat.Table(tn); ok {
+			tables++
+			rows += t.NumRows()
+		}
+	}
+	return tables, rows
+}
 
 // bindArgs converts Go values into engine parameter values.
 func bindArgs(args []any) ([]types.Value, error) {

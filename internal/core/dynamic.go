@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"graphsql/internal/expr"
 	"graphsql/internal/graph"
@@ -22,6 +24,12 @@ import (
 // refreshes (DELETE and DROP invalidate the index entirely, handled by
 // the engine).
 type DynamicGraph struct {
+	// mu makes the index safe for concurrent readers with occasional
+	// refreshes: Match and the accessors take the read lock, Refresh
+	// upgrades to the write lock only when there are rows to absorb.
+	// The caller must still serialize refreshes against table writes
+	// (the facade's RWMutex does).
+	mu sync.RWMutex
 	pg *PreparedGraph
 	// delta holds edges of rows appended after the snapshot; nil when
 	// the index is exactly the snapshot.
@@ -53,13 +61,28 @@ func NewDynamicGraphP(edges *storage.Chunk, srcIdx, dstIdx, parallelism int) (*D
 }
 
 // Prepared exposes the current snapshot (plus delta via Solver()).
-func (dg *DynamicGraph) Prepared() *PreparedGraph { return dg.pg }
+func (dg *DynamicGraph) Prepared() *PreparedGraph {
+	dg.mu.RLock()
+	defer dg.mu.RUnlock()
+	return dg.pg
+}
 
 // AppliedRows reports how many source-table rows the index reflects.
-func (dg *DynamicGraph) AppliedRows() int { return dg.appliedRows }
+func (dg *DynamicGraph) AppliedRows() int {
+	dg.mu.RLock()
+	defer dg.mu.RUnlock()
+	return dg.appliedRows
+}
 
 // DeltaEdges reports the number of edges currently in the delta.
 func (dg *DynamicGraph) DeltaEdges() int {
+	dg.mu.RLock()
+	defer dg.mu.RUnlock()
+	return dg.deltaEdgesLocked()
+}
+
+// deltaEdgesLocked is DeltaEdges for callers already holding mu.
+func (dg *DynamicGraph) deltaEdgesLocked() int {
 	if dg.delta == nil {
 		return 0
 	}
@@ -86,6 +109,16 @@ func (dg *DynamicGraph) rebuildThreshold() int {
 // happened.
 func (dg *DynamicGraph) Refresh(current *storage.Chunk) (rebuilt bool, err error) {
 	n := current.NumRows()
+	// Fast path: nothing to absorb. Taken under the read lock so
+	// concurrent queries over an unchanged table never serialize.
+	dg.mu.RLock()
+	upToDate := n == dg.appliedRows
+	dg.mu.RUnlock()
+	if upToDate {
+		return false, nil
+	}
+	dg.mu.Lock()
+	defer dg.mu.Unlock()
 	switch {
 	case n < dg.appliedRows:
 		return false, fmt.Errorf("graph index: table shrank from %d to %d rows (append-only contract violated)", dg.appliedRows, n)
@@ -93,7 +126,7 @@ func (dg *DynamicGraph) Refresh(current *storage.Chunk) (rebuilt bool, err error
 		return false, nil
 	}
 	newEdges := n - dg.appliedRows
-	if dg.DeltaEdges()+newEdges > dg.rebuildThreshold() {
+	if dg.deltaEdgesLocked()+newEdges > dg.rebuildThreshold() {
 		pg, err := BuildGraphP(current, dg.pg.SrcIdx, dg.pg.DstIdx, dg.pg.Parallelism)
 		if err != nil {
 			return false, err
@@ -163,8 +196,13 @@ func ownEdgesChunk(pg *PreparedGraph, snapshotRows int) {
 	pg.edgesOwned = true
 }
 
-// Solver returns a solver over the snapshot plus the delta.
+// Solver returns a solver over the snapshot plus the delta. The
+// returned solver aliases the live delta, so the caller must not run
+// it concurrently with Refresh (the query path uses MatchCtx, which
+// holds the read lock for the whole solve, instead).
 func (dg *DynamicGraph) Solver() *graph.Solver {
+	dg.mu.RLock()
+	defer dg.mu.RUnlock()
 	s := graph.NewSolverWithDelta(dg.pg.CSR, dg.delta)
 	s.Parallelism = dg.pg.Parallelism
 	return s
@@ -172,18 +210,34 @@ func (dg *DynamicGraph) Solver() *graph.Solver {
 
 // Match runs a GraphMatch through the dynamic index (snapshot+delta).
 func (dg *DynamicGraph) Match(gm *plan.GraphMatch, input *storage.Chunk, xCol, yCol *storage.Column, ctx *expr.Context) (*storage.Chunk, error) {
-	return dg.pg.match(gm, input, xCol, yCol, ctx, dg.delta)
+	return dg.MatchCtx(context.Background(), gm, input, xCol, yCol, ctx)
 }
 
-// Reachability answers one pair over the current snapshot+delta.
+// MatchCtx is Match with a cancellation context. The read lock is held
+// for the duration of the solve, so a concurrent Refresh waits for
+// in-flight matches instead of mutating the snapshot under them.
+func (dg *DynamicGraph) MatchCtx(stdctx context.Context, gm *plan.GraphMatch, input *storage.Chunk, xCol, yCol *storage.Column, ctx *expr.Context) (*storage.Chunk, error) {
+	dg.mu.RLock()
+	defer dg.mu.RUnlock()
+	return dg.pg.match(stdctx, gm, input, xCol, yCol, ctx, dg.delta)
+}
+
+// Reachability answers one pair over the current snapshot+delta. The
+// read lock is held for the whole solve: the dictionary lookups and
+// the delta adjacency are mutated in place by Refresh.
 func (dg *DynamicGraph) Reachability(srcKey, dstKey types.Value) (bool, error) {
-	sc := storage.NewColumn(dg.pg.KeyKind, 1)
+	dg.mu.RLock()
+	defer dg.mu.RUnlock()
+	pg := dg.pg
+	solver := graph.NewSolverWithDelta(pg.CSR, dg.delta)
+	solver.Parallelism = pg.Parallelism
+	sc := storage.NewColumn(pg.KeyKind, 1)
 	sc.Append(srcKey)
-	dc := storage.NewColumn(dg.pg.KeyKind, 1)
+	dc := storage.NewColumn(pg.KeyKind, 1)
 	dc.Append(dstKey)
-	srcs := dg.pg.encodeColumn(sc)
-	dsts := dg.pg.encodeColumn(dc)
-	sol, err := dg.Solver().Solve(srcs, dsts, nil)
+	srcs := pg.encodeColumn(sc)
+	dsts := pg.encodeColumn(dc)
+	sol, err := solver.Solve(srcs, dsts, nil)
 	if err != nil {
 		return false, err
 	}

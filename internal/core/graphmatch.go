@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"graphsql/internal/expr"
@@ -146,12 +147,18 @@ func (pg *PreparedGraph) encodeColumn(c *storage.Column) []graph.VertexID {
 // optional path) column per CheapestSpec. X and Y are the evaluated
 // key columns of the input chunk.
 func (pg *PreparedGraph) Match(gm *plan.GraphMatch, input *storage.Chunk, xCol, yCol *storage.Column, ctx *expr.Context) (*storage.Chunk, error) {
-	return pg.match(gm, input, xCol, yCol, ctx, nil)
+	return pg.MatchCtx(context.Background(), gm, input, xCol, yCol, ctx)
 }
 
-// match is Match with an optional delta of appended edges (dynamic
+// MatchCtx is Match with a cancellation context, checked at the
+// solver's source-group boundaries and before output materialization.
+func (pg *PreparedGraph) MatchCtx(stdctx context.Context, gm *plan.GraphMatch, input *storage.Chunk, xCol, yCol *storage.Column, ctx *expr.Context) (*storage.Chunk, error) {
+	return pg.match(stdctx, gm, input, xCol, yCol, ctx, nil)
+}
+
+// match is MatchCtx with an optional delta of appended edges (dynamic
 // graph index, §6).
-func (pg *PreparedGraph) match(gm *plan.GraphMatch, input *storage.Chunk, xCol, yCol *storage.Column, ctx *expr.Context, delta *graph.Delta) (*storage.Chunk, error) {
+func (pg *PreparedGraph) match(stdctx context.Context, gm *plan.GraphMatch, input *storage.Chunk, xCol, yCol *storage.Column, ctx *expr.Context, delta *graph.Delta) (*storage.Chunk, error) {
 	srcs := pg.encodeColumn(xCol)
 	dsts := pg.encodeColumn(yCol)
 
@@ -202,9 +209,15 @@ func (pg *PreparedGraph) match(gm *plan.GraphMatch, input *storage.Chunk, xCol, 
 
 	solver := graph.NewSolverWithDelta(pg.CSR, delta)
 	solver.Parallelism = pg.Parallelism
+	solver.Ctx = stdctx
 	sol, err := solver.Solve(srcs, dsts, specs)
 	if err != nil {
 		return nil, err
+	}
+	if stdctx != nil {
+		if err := stdctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Materialize the surviving rows plus the generated columns. The

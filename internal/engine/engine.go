@@ -5,6 +5,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,6 +32,12 @@ type Engine struct {
 	// parallelism is the worker budget for graph construction and
 	// batched shortest-path solving; 0 means one worker per CPU.
 	parallelism int
+	// defaultParallelism is the value SetParallelism configured; an
+	// engine-wide `SET parallelism = DEFAULT` restores it.
+	defaultParallelism int
+	// schemaVersion counts catalog shape changes (CREATE/DROP TABLE);
+	// prepared statements bound against an older version are stale.
+	schemaVersion uint64
 	// Stats accumulates executor instrumentation when non-nil.
 	Stats *exec.Stats
 }
@@ -57,14 +64,100 @@ func (e *Engine) SetParallelism(p int) {
 		p = 0
 	}
 	e.parallelism = p
+	e.defaultParallelism = p
 }
 
 // Parallelism reports the configured worker budget (0 = one per CPU).
 func (e *Engine) Parallelism() int { return e.parallelism }
 
-// Query parses, binds, optimizes and executes one statement, returning
-// its result chunk (nil for statements without results).
-func (e *Engine) Query(sql string, params ...types.Value) (*storage.Chunk, error) {
+// SchemaVersion reports the catalog shape version; it is bumped by
+// CREATE TABLE and DROP TABLE. Prepared statements remember the version
+// they were bound against (see Prepared.Stale).
+func (e *Engine) SchemaVersion() uint64 { return e.schemaVersion }
+
+// ExecOptions carries per-execution overrides. The zero value is not
+// meaningful — use DefaultExecOptions (Parallelism -1 = inherit).
+type ExecOptions struct {
+	// Parallelism overrides the engine's worker budget for this
+	// execution: -1 inherits the engine value, 0 means one worker per
+	// CPU, n >= 1 caps the pool.
+	Parallelism int
+	// OnSet, when non-nil, intercepts SET statements so a session layer
+	// can scope settings to itself. It receives the lower-cased setting
+	// name and the validated value (Null when SET ... = DEFAULT). When
+	// it reports handled, the engine state is left untouched.
+	OnSet func(name string, v types.Value) (handled bool, err error)
+}
+
+// DefaultExecOptions returns options that inherit every engine default.
+func DefaultExecOptions() ExecOptions { return ExecOptions{Parallelism: -1} }
+
+// effectiveParallelism resolves the worker budget for one execution.
+func (e *Engine) effectiveParallelism(opts *ExecOptions) int {
+	if opts != nil && opts.Parallelism >= 0 {
+		return opts.Parallelism
+	}
+	return e.parallelism
+}
+
+// Prepared is a parsed — and, for SELECT, bound and rewritten —
+// statement, reusable across executions with the same parameter kinds.
+// It is the unit of the session plan cache: preparing pays the parse,
+// bind and rewrite cost once; ExecPrepared then only interprets the
+// plan. A Prepared must not be executed concurrently with itself; the
+// session layer serializes its own statements.
+type Prepared struct {
+	// SQL is the statement text the plan was prepared from.
+	SQL  string
+	stmt ast.Statement
+	// plan is the bound+rewritten logical plan (SELECT only).
+	plan plan.Node
+	// NumParams is how many ? placeholders the statement uses.
+	NumParams int
+	// paramKinds are the kinds the statement was bound with; executing
+	// with differently-typed arguments requires a fresh Prepare.
+	paramKinds []types.Kind
+	// version is the engine schema version at bind time.
+	version uint64
+}
+
+// IsSelect reports whether the statement is a query (safe under a read
+// lock; everything else mutates engine or catalog state).
+func (p *Prepared) IsSelect() bool {
+	_, ok := p.stmt.(*ast.SelectStmt)
+	return ok
+}
+
+// IsSet reports whether the statement is a SET. A SET executed with an
+// ExecOptions.OnSet interceptor does not mutate the engine and may run
+// under a read lock; without one it writes the engine default.
+func (p *Prepared) IsSet() bool {
+	_, ok := p.stmt.(*ast.SetStmt)
+	return ok
+}
+
+// Stale reports whether the plan can no longer serve an execution:
+// the catalog shape changed since bind time, or the argument kinds
+// differ from the ones it was bound with.
+func (p *Prepared) Stale(e *Engine, params []types.Value) bool {
+	if p.version != e.schemaVersion {
+		return true
+	}
+	if len(params) < len(p.paramKinds) {
+		return true
+	}
+	for i, k := range p.paramKinds {
+		if params[i].K != k {
+			return true
+		}
+	}
+	return false
+}
+
+// Prepare parses and, for SELECT statements, binds and rewrites sql.
+// params supply the argument kinds referenced during binding; their
+// values are not captured (they are re-supplied at ExecPrepared time).
+func (e *Engine) Prepare(sql string, params ...types.Value) (*Prepared, error) {
 	stmt, nparams, err := parser.ParseWithParams(sql)
 	if err != nil {
 		return nil, err
@@ -72,19 +165,93 @@ func (e *Engine) Query(sql string, params ...types.Value) (*storage.Chunk, error
 	if nparams > len(params) {
 		return nil, fmt.Errorf("statement uses %d parameters but %d argument(s) were supplied", nparams, len(params))
 	}
-	return e.execStmt(stmt, params)
+	p := &Prepared{SQL: sql, stmt: stmt, NumParams: nparams, version: e.schemaVersion}
+	if nparams > 0 {
+		p.paramKinds = make([]types.Kind, nparams)
+		for i := range p.paramKinds {
+			p.paramKinds[i] = params[i].K
+		}
+	}
+	if sel, ok := stmt.(*ast.SelectStmt); ok {
+		pl, err := analyze.BindSelect(e.cat, sel, params)
+		if err != nil {
+			return nil, err
+		}
+		p.plan = plan.Rewrite(pl)
+	}
+	return p, nil
+}
+
+// ExecPrepared executes a prepared statement. The caller is responsible
+// for staleness (see Prepared.Stale); executing a stale plan against a
+// reshaped catalog is undefined.
+func (e *Engine) ExecPrepared(ctx context.Context, p *Prepared, opts *ExecOptions, params ...types.Value) (*storage.Chunk, error) {
+	if p.NumParams > len(params) {
+		return nil, fmt.Errorf("statement uses %d parameters but %d argument(s) were supplied", p.NumParams, len(params))
+	}
+	if sel, ok := p.stmt.(*ast.SelectStmt); ok {
+		pl := p.plan
+		if pl == nil {
+			bound, err := analyze.BindSelect(e.cat, sel, params)
+			if err != nil {
+				return nil, err
+			}
+			pl = plan.Rewrite(bound)
+		}
+		ectx := &exec.Context{
+			Ctx:          ctx,
+			Expr:         &expr.Context{Params: params},
+			GraphIndexes: e.graphIndexes,
+			Parallelism:  e.effectiveParallelism(opts),
+			Stats:        e.Stats,
+		}
+		return exec.Execute(pl, ectx)
+	}
+	return e.execStmt(ctx, p.stmt, params, opts)
+}
+
+// Query parses, binds, optimizes and executes one statement, returning
+// its result chunk (nil for statements without results).
+func (e *Engine) Query(sql string, params ...types.Value) (*storage.Chunk, error) {
+	return e.QueryCtx(context.Background(), sql, params...)
+}
+
+// QueryCtx is Query with a cancellation context, checked at operator
+// and solver chunk boundaries.
+func (e *Engine) QueryCtx(ctx context.Context, sql string, params ...types.Value) (*storage.Chunk, error) {
+	return e.QueryOpts(ctx, nil, sql, params...)
+}
+
+// QueryOpts is QueryCtx with per-execution overrides (nil opts inherit
+// every engine default).
+func (e *Engine) QueryOpts(ctx context.Context, opts *ExecOptions, sql string, params ...types.Value) (*storage.Chunk, error) {
+	p, err := e.Prepare(sql, params...)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecPrepared(ctx, p, opts, params...)
 }
 
 // ExecScript runs a semicolon-separated script, returning the result
 // of the last statement.
 func (e *Engine) ExecScript(sql string, params ...types.Value) (*storage.Chunk, error) {
+	return e.ExecScriptCtx(context.Background(), sql, params...)
+}
+
+// ExecScriptCtx is ExecScript with a cancellation context.
+func (e *Engine) ExecScriptCtx(ctx context.Context, sql string, params ...types.Value) (*storage.Chunk, error) {
 	stmts, err := parser.ParseAll(sql)
 	if err != nil {
 		return nil, err
 	}
 	var last *storage.Chunk
 	for _, s := range stmts {
-		last, err = e.execStmt(s, params)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		last, err = e.execStmt(ctx, s, params, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -109,7 +276,7 @@ func (e *Engine) Explain(sql string, params ...types.Value) (string, error) {
 	return plan.Explain(plan.Rewrite(p)), nil
 }
 
-func (e *Engine) execStmt(stmt ast.Statement, params []types.Value) (*storage.Chunk, error) {
+func (e *Engine) execStmt(ctx context.Context, stmt ast.Statement, params []types.Value, opts *ExecOptions) (*storage.Chunk, error) {
 	switch t := stmt.(type) {
 	case *ast.SelectStmt:
 		p, err := analyze.BindSelect(e.cat, t, params)
@@ -117,24 +284,77 @@ func (e *Engine) execStmt(stmt ast.Statement, params []types.Value) (*storage.Ch
 			return nil, err
 		}
 		p = plan.Rewrite(p)
-		ctx := &exec.Context{
+		ectx := &exec.Context{
+			Ctx:          ctx,
 			Expr:         &expr.Context{Params: params},
 			GraphIndexes: e.graphIndexes,
-			Parallelism:  e.parallelism,
+			Parallelism:  e.effectiveParallelism(opts),
 			Stats:        e.Stats,
 		}
-		return exec.Execute(p, ctx)
+		return exec.Execute(p, ectx)
 	case *ast.CreateTableStmt:
 		return nil, e.execCreateTable(t)
 	case *ast.InsertStmt:
-		return nil, e.execInsert(t, params)
+		return nil, e.execInsert(ctx, t, params)
 	case *ast.DropTableStmt:
+		if err := e.cat.DropTable(t.Name); err != nil {
+			return nil, err
+		}
 		e.invalidateIndexes(t.Name)
-		return nil, e.cat.DropTable(t.Name)
+		e.schemaVersion++
+		return nil, nil
 	case *ast.DeleteStmt:
 		return nil, e.execDelete(t, params)
+	case *ast.SetStmt:
+		return nil, e.execSet(t, params, opts)
 	}
 	return nil, fmt.Errorf("internal: unknown statement %T", stmt)
+}
+
+// execSet validates and applies a SET statement. Known settings:
+//
+//	SET parallelism = n        -- 0 = one worker per CPU, n >= 1 caps
+//	SET parallelism = DEFAULT  -- reset to the inherited value
+//
+// When opts.OnSet is present the setting is offered to it first so a
+// session layer can scope it; otherwise it applies engine-wide.
+func (e *Engine) execSet(t *ast.SetStmt, params []types.Value, opts *ExecOptions) error {
+	name := strings.ToLower(t.Name)
+	var v types.Value
+	if t.Default {
+		v = types.NewNull(types.KindNull)
+	} else {
+		b := analyze.NewBinder(e.cat, params)
+		be, err := b.BindScalar(t.Value)
+		if err != nil {
+			return err
+		}
+		v, err = expr.EvalScalar(be, &expr.Context{Params: params})
+		if err != nil {
+			return err
+		}
+	}
+	switch name {
+	case "parallelism":
+		n := e.defaultParallelism // DEFAULT restores the configured value
+		if !t.Default {
+			if v.Null || v.K != types.KindInt || v.I < 0 {
+				return fmt.Errorf("SET parallelism requires a non-negative integer (0 = one worker per CPU)")
+			}
+			n = int(v.I)
+		}
+		if opts != nil && opts.OnSet != nil {
+			handled, err := opts.OnSet(name, v)
+			if handled || err != nil {
+				return err
+			}
+		}
+		// Engine-wide SET adjusts the active budget without redefining
+		// the configured default (so a later DEFAULT restores it).
+		e.parallelism = n
+		return nil
+	}
+	return fmt.Errorf("unknown setting %q (supported: parallelism)", t.Name)
 }
 
 func (e *Engine) execCreateTable(t *ast.CreateTableStmt) error {
@@ -146,11 +366,14 @@ func (e *Engine) execCreateTable(t *ast.CreateTableStmt) error {
 		}
 		sch[i] = storage.ColMeta{Name: c.Name, Kind: k}
 	}
-	_, err := e.cat.CreateTable(t.Name, sch)
-	return err
+	if _, err := e.cat.CreateTable(t.Name, sch); err != nil {
+		return err
+	}
+	e.schemaVersion++
+	return nil
 }
 
-func (e *Engine) execInsert(t *ast.InsertStmt, params []types.Value) error {
+func (e *Engine) execInsert(ctx context.Context, t *ast.InsertStmt, params []types.Value) error {
 	table, ok := e.cat.Table(t.Table)
 	if !ok {
 		return fmt.Errorf("table %q does not exist", t.Table)
@@ -197,7 +420,7 @@ func (e *Engine) execInsert(t *ast.InsertStmt, params []types.Value) error {
 			return err
 		}
 		p = plan.Rewrite(p)
-		res, err := exec.Execute(p, &exec.Context{Expr: &expr.Context{Params: params}, GraphIndexes: e.graphIndexes, Parallelism: e.parallelism})
+		res, err := exec.Execute(p, &exec.Context{Ctx: ctx, Expr: &expr.Context{Params: params}, GraphIndexes: e.graphIndexes, Parallelism: e.parallelism})
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +20,12 @@ import (
 
 // Context carries per-execution state.
 type Context struct {
+	// Ctx carries optional cancellation (client disconnects, server
+	// timeouts). Operators fully materialize, so it is checked at the
+	// natural chunk boundaries: before every operator runs and at the
+	// solver's source-group boundaries inside GraphMatch. A nil Ctx
+	// never cancels.
+	Ctx context.Context
 	// Expr holds the host parameter bindings.
 	Expr *expr.Context
 	// GraphIndexes caches dynamic graph indexes keyed by
@@ -56,6 +63,15 @@ func GraphIndexKey(table string, srcIdx, dstIdx int) string {
 	return fmt.Sprintf("%s(%d,%d)", strings.ToLower(table), srcIdx, dstIdx)
 }
 
+// Canceled returns the context's error if the execution was canceled,
+// nil otherwise (including when no context was attached).
+func (ctx *Context) Canceled() error {
+	if ctx.Ctx == nil {
+		return nil
+	}
+	return ctx.Ctx.Err()
+}
+
 // Execute runs a plan and returns the materialized result.
 func Execute(n plan.Node, ctx *Context) (*storage.Chunk, error) {
 	if ctx == nil {
@@ -63,6 +79,11 @@ func Execute(n plan.Node, ctx *Context) (*storage.Chunk, error) {
 	}
 	if ctx.Expr == nil {
 		ctx.Expr = &expr.Context{}
+	}
+	// Every operator materializes fully, so the pre-operator check makes
+	// a canceled plan tree unwind at the next chunk boundary.
+	if err := ctx.Canceled(); err != nil {
+		return nil, err
 	}
 	switch t := n.(type) {
 	case *plan.Scan:
@@ -326,7 +347,7 @@ func execGraphMatch(g *plan.GraphMatch, ctx *Context) (*storage.Chunk, error) {
 					ctx.Stats.IndexRefreshes++
 				}
 			}
-			return dg.Match(g, in, xc, yc, ctx.Expr)
+			return dg.MatchCtx(ctx.Ctx, g, in, xc, yc, ctx.Expr)
 		}
 	}
 	edges, err := Execute(g.Edge, ctx)
@@ -342,7 +363,7 @@ func execGraphMatch(g *plan.GraphMatch, ctx *Context) (*storage.Chunk, error) {
 		ctx.Stats.GraphBuildVertices += pg.NumVertices()
 		ctx.Stats.GraphBuildEdges += pg.NumEdges()
 	}
-	return pg.Match(g, in, xc, yc, ctx.Expr)
+	return pg.MatchCtx(ctx.Ctx, g, in, xc, yc, ctx.Expr)
 }
 
 // encodeKey appends a type-tagged, self-delimiting encoding of column

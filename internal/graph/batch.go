@@ -2,8 +2,10 @@ package graph
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"slices"
+	"sync/atomic"
 )
 
 // Spec describes one CHEAPEST SUM evaluation over a graph: the edge
@@ -63,6 +65,12 @@ type Solver struct {
 	// runtime.GOMAXPROCS(0). Small batches take a sequential fast path
 	// regardless.
 	Parallelism int
+	// Ctx carries optional cancellation (client disconnects, server
+	// timeouts). It is checked at the source-group boundary — the
+	// solver's unit of work — so a canceled batch stops draining
+	// remaining groups and Solve returns the context's error. A single
+	// in-flight traversal always runs to completion.
+	Ctx context.Context
 	// forceParallel bypasses the sequential fast-path heuristic so
 	// tests can exercise the worker pool on tiny inputs.
 	forceParallel bool
@@ -186,10 +194,20 @@ func (s *Solver) Solve(srcs, dsts []VertexID, specs []Spec) (*Solution, error) {
 	for w := 0; w < workers; w++ {
 		s.scratch(w)
 	}
+	// canceled latches the first cancellation observation so remaining
+	// groups drain as no-ops instead of starting new traversals.
+	var canceled atomic.Bool
 	runIndexed(workers, len(groups), func(worker, i int) {
+		if s.Ctx != nil && (canceled.Load() || s.Ctx.Err() != nil) {
+			canceled.Store(true)
+			return
+		}
 		group := order[groups[i].lo:groups[i].hi]
 		s.solveGroup(s.scratches[worker], srcs[group[0]], group, dsts, specs, sol)
 	})
+	if canceled.Load() {
+		return nil, s.Ctx.Err()
+	}
 	return sol, nil
 }
 

@@ -11,15 +11,15 @@ import (
 // appended edges), weight vectors covering snapshot and delta rows,
 // and a batch of query pairs including NoVertex entries.
 type randomWorkload struct {
-	g       *CSR
-	delta   *Delta
-	wI      []int64
-	wF      []float64
-	srcs    []VertexID
-	dsts    []VertexID
-	n       int
-	totalM  int
-	deltaM  int
+	g      *CSR
+	delta  *Delta
+	wI     []int64
+	wF     []float64
+	srcs   []VertexID
+	dsts   []VertexID
+	n      int
+	totalM int
+	deltaM int
 }
 
 func makeWorkload(rng *rand.Rand, withDelta bool) *randomWorkload {

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned when a query arrives while the in-flight
+// and queue limits are both saturated.
+var ErrQueueFull = errors.New("admission queue full")
+
+// Admission divides the machine's worker budget across concurrent
+// queries: at most MaxInFlight queries execute at once, at most
+// QueueDepth more wait, and each admitted query is granted a slice of
+// the TotalWorkers budget — clamped by PerQueryWorkers — so one batch
+// query cannot starve point lookups of either execution slots or
+// cores. Grants are returned on Release; waiters are admitted FIFO.
+type Admission struct {
+	maxInFlight int
+	queueDepth  int
+	total       int
+	perQuery    int
+
+	mu        sync.Mutex
+	inFlight  int
+	available int // worker units not currently granted
+	waiters   []*waiter
+
+	// cumulative counters (guarded by mu; see Snapshot)
+	admitted uint64
+	queuedC  uint64
+	rejected uint64
+	canceled uint64
+}
+
+type waiter struct {
+	want int
+	ch   chan int // granted workers, buffered(1)
+}
+
+// NewAdmission builds a scheduler. Non-positive arguments fall back to
+// safe minimums (1 in-flight, 0 queue, 1 worker).
+func NewAdmission(maxInFlight, queueDepth, totalWorkers, perQueryWorkers int) *Admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if totalWorkers < 1 {
+		totalWorkers = 1
+	}
+	if perQueryWorkers < 1 || perQueryWorkers > totalWorkers {
+		perQueryWorkers = totalWorkers
+	}
+	return &Admission{
+		maxInFlight: maxInFlight,
+		queueDepth:  queueDepth,
+		total:       totalWorkers,
+		perQuery:    perQueryWorkers,
+		available:   totalWorkers,
+	}
+}
+
+// FairShare is the default per-query worker request: the budget divided
+// by the in-flight limit, at least 1.
+func (a *Admission) FairShare() int {
+	share := a.total / a.maxInFlight
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// PerQueryCap exposes the per-query worker ceiling.
+func (a *Admission) PerQueryCap() int { return a.perQuery }
+
+// Grant is an admitted query's worker allocation; Release must be
+// called exactly once when the query finishes.
+type Grant struct {
+	a       *Admission
+	Workers int
+}
+
+// clampLocked resolves a request into a concrete grant; a.mu held.
+// A query always gets at least one worker — admission (the in-flight
+// limit) is the backpressure mechanism, not worker exhaustion.
+func (a *Admission) clampLocked(want int) int {
+	if want < 1 {
+		want = a.FairShare()
+	}
+	if want > a.perQuery {
+		want = a.perQuery
+	}
+	if want > a.available {
+		want = a.available
+	}
+	if want < 1 {
+		want = 1
+	}
+	return want
+}
+
+// Acquire admits a query requesting `want` workers (<= 0 asks for the
+// fair share). It returns ErrQueueFull when both the in-flight and
+// queue limits are saturated, or ctx's error if the caller gives up
+// while queued.
+func (a *Admission) Acquire(ctx context.Context, want int) (*Grant, error) {
+	a.mu.Lock()
+	if a.inFlight < a.maxInFlight {
+		a.inFlight++
+		w := a.clampLocked(want)
+		a.available -= w
+		a.admitted++
+		a.mu.Unlock()
+		return &Grant{a: a, Workers: w}, nil
+	}
+	if len(a.waiters) >= a.queueDepth {
+		a.rejected++
+		a.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	wt := &waiter{want: want, ch: make(chan int, 1)}
+	a.waiters = append(a.waiters, wt)
+	a.queuedC++
+	a.mu.Unlock()
+
+	select {
+	case w := <-wt.ch:
+		return &Grant{a: a, Workers: w}, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, q := range a.waiters {
+			if q == wt {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				a.canceled++
+				a.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		a.mu.Unlock()
+		// Already granted between Done and the lock: hand the grant
+		// back before reporting cancellation.
+		w := <-wt.ch
+		(&Grant{a: a, Workers: w}).Release()
+		return nil, ctx.Err()
+	}
+}
+
+// Release returns the grant's workers and admits the next waiter.
+func (g *Grant) Release() {
+	a := g.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.available += g.Workers
+	if len(a.waiters) > 0 {
+		next := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		w := a.clampLocked(next.want)
+		a.available -= w
+		a.admitted++
+		next.ch <- w
+		return
+	}
+	a.inFlight--
+}
+
+// AdmissionSnapshot is a point-in-time view for /stats.
+type AdmissionSnapshot struct {
+	InFlight    int    `json:"in_flight"`
+	Queued      int    `json:"queued"`
+	MaxInFlight int    `json:"max_in_flight"`
+	QueueDepth  int    `json:"queue_depth"`
+	Workers     int    `json:"workers_total"`
+	WorkersFree int    `json:"workers_free"`
+	PerQueryCap int    `json:"per_query_workers"`
+	Admitted    uint64 `json:"admitted"`
+	EverQueued  uint64 `json:"ever_queued"`
+	Rejected    uint64 `json:"rejected"`
+	Abandoned   uint64 `json:"abandoned"`
+}
+
+// Snapshot reads the scheduler state.
+func (a *Admission) Snapshot() AdmissionSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionSnapshot{
+		InFlight:    a.inFlight,
+		Queued:      len(a.waiters),
+		MaxInFlight: a.maxInFlight,
+		QueueDepth:  a.queueDepth,
+		Workers:     a.total,
+		WorkersFree: a.available,
+		PerQueryCap: a.perQuery,
+		Admitted:    a.admitted,
+		EverQueued:  a.queuedC,
+		Rejected:    a.rejected,
+		Abandoned:   a.canceled,
+	}
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionLimitsAndQueue(t *testing.T) {
+	a := NewAdmission(2, 1, 8, 4)
+
+	g1, err := a.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Workers != 4 { // fair share = 8/2, within the per-query cap
+		t.Fatalf("fair share grant = %d, want 4", g1.Workers)
+	}
+	g2, err := a.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Workers != 4 { // clamped by both per-query cap and availability
+		t.Fatalf("capped grant = %d, want 4", g2.Workers)
+	}
+
+	// Third query queues (depth 1); fourth is rejected immediately.
+	admitted := make(chan *Grant, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g, err := a.Acquire(context.Background(), 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		admitted <- g
+	}()
+	waitFor(t, func() bool { return a.Snapshot().Queued == 1 })
+	if _, err := a.Acquire(context.Background(), 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("expected ErrQueueFull, got %v", err)
+	}
+
+	// Releasing one grant admits the waiter FIFO with its clamp.
+	g1.Release()
+	wg.Wait()
+	g3 := <-admitted
+	if g3.Workers != 2 {
+		t.Fatalf("waiter grant = %d, want 2", g3.Workers)
+	}
+	snap := a.Snapshot()
+	if snap.InFlight != 2 || snap.Queued != 0 || snap.Rejected != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	g2.Release()
+	g3.Release()
+	snap = a.Snapshot()
+	if snap.InFlight != 0 || snap.WorkersFree != 8 {
+		t.Fatalf("after release: %+v", snap)
+	}
+}
+
+func TestAdmissionQueuedCancel(t *testing.T) {
+	a := NewAdmission(1, 4, 2, 2)
+	g, err := a.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx, 1)
+		done <- err
+	}()
+	waitFor(t, func() bool { return a.Snapshot().Queued == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	snap := a.Snapshot()
+	if snap.Queued != 0 || snap.Abandoned != 1 {
+		t.Fatalf("snapshot after cancel: %+v", snap)
+	}
+	// The held slot is unaffected; release restores full capacity.
+	g.Release()
+	if snap := a.Snapshot(); snap.InFlight != 0 || snap.WorkersFree != 2 {
+		t.Fatalf("after release: %+v", snap)
+	}
+}
+
+func TestAdmissionWorkerStarvationAvoided(t *testing.T) {
+	// A batch query grabbing the whole budget still leaves point
+	// lookups admitted with >= 1 worker.
+	a := NewAdmission(4, 0, 4, 4)
+	big, err := a.Acquire(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Workers != 4 {
+		t.Fatalf("big grant = %d", big.Workers)
+	}
+	small, err := a.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Workers < 1 {
+		t.Fatalf("point lookup starved: %d workers", small.Workers)
+	}
+	big.Release()
+	small.Release()
+}
+
+// waitFor polls cond briefly; admission hand-off is in-memory so this
+// converges in microseconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

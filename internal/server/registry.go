@@ -1,0 +1,109 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"graphsql"
+	"graphsql/internal/wire"
+)
+
+// Registry is the named multi-graph catalog of the server. Each entry
+// holds an atomic pointer to a fully-built database: a (re)load builds
+// the replacement off to the side — script, indexes and all — and
+// swaps the pointer only when it is complete (copy-on-swap). Queries
+// in flight keep the generation they resolved; nothing is mutated
+// under them, and the old generation is garbage-collected once the
+// last query over it finishes.
+type Registry struct {
+	// parallelism is the engine default handed to every loaded DB.
+	parallelism int
+
+	mu     sync.RWMutex
+	graphs map[string]*graphEntry
+}
+
+type graphEntry struct {
+	name       string
+	db         atomic.Pointer[graphsql.DB]
+	generation atomic.Int64
+}
+
+// NewRegistry builds a registry whose databases default to the given
+// worker budget (0 = one worker per CPU).
+func NewRegistry(parallelism int) *Registry {
+	return &Registry{parallelism: parallelism, graphs: make(map[string]*graphEntry)}
+}
+
+// Get resolves the current database of a named graph.
+func (r *Registry) Get(name string) (*graphsql.DB, bool) {
+	r.mu.RLock()
+	e, ok := r.graphs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return e.db.Load(), true
+}
+
+// Load builds a fresh database from the script (and optional graph
+// indexes) and swaps it in under the given name, creating the entry if
+// needed. On any error the previous generation stays untouched.
+func (r *Registry) Load(name, script string, indexes []wire.IndexSpec) (generation int64, tables int, err error) {
+	db := graphsql.Open(graphsql.WithParallelism(r.parallelism))
+	if script != "" {
+		if _, serr := db.ExecScript(script); serr != nil {
+			return 0, 0, fmt.Errorf("load script: %w", serr)
+		}
+	}
+	for _, ix := range indexes {
+		if err := db.BuildGraphIndex(ix.Table, ix.Src, ix.Dst); err != nil {
+			return 0, 0, fmt.Errorf("index %s(%s,%s): %w", ix.Table, ix.Src, ix.Dst, err)
+		}
+	}
+	tables, _ = db.TableStats()
+	// Swap and generation bump stay under the registry lock so the
+	// reported generation always names the database that is serving
+	// (concurrent loads of one graph serialize here; readers only
+	// touch the atomics).
+	r.mu.Lock()
+	e, ok := r.graphs[name]
+	if !ok {
+		e = &graphEntry{name: name}
+		r.graphs[name] = e
+	}
+	e.db.Store(db)
+	gen := e.generation.Add(1)
+	r.mu.Unlock()
+	return gen, tables, nil
+}
+
+// GraphInfo is one registry entry's /stats view.
+type GraphInfo struct {
+	Name       string `json:"name"`
+	Generation int64  `json:"generation"`
+	Tables     int    `json:"tables"`
+	Rows       int    `json:"rows"`
+}
+
+// Info lists the registered graphs sorted by name.
+func (r *Registry) Info() []GraphInfo {
+	r.mu.RLock()
+	entries := make([]*graphEntry, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	out := make([]GraphInfo, 0, len(entries))
+	for _, e := range entries {
+		info := GraphInfo{Name: e.name, Generation: e.generation.Load()}
+		if db := e.db.Load(); db != nil {
+			info.Tables, info.Rows = db.TableStats()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

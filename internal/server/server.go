@@ -1,0 +1,379 @@
+// Package server turns the embedded graphsql engine into a
+// long-running, concurrency-safe query service: an HTTP/JSON API over
+// a named multi-graph registry with copy-on-swap reloads, per-session
+// state (SET settings and a prepared parse+plan cache), and an
+// admission-control scheduler that divides the machine's worker budget
+// across concurrent queries.
+//
+// Endpoints:
+//
+//	POST /query               run one statement (wire.QueryRequest)
+//	POST /graphs/{name}/load  build+swap a named graph (wire.LoadRequest)
+//	GET  /healthz             liveness probe
+//	GET  /stats               counters, admission and registry state
+//
+// Concurrency model: SELECTs over one graph run concurrently (the
+// facade's read lock), writers serialize, and a reload never blocks
+// readers — it builds the replacement database off to the side and
+// swaps an atomic pointer. Admission bounds the blast radius of
+// expensive queries: at most MaxInFlight queries run at once with a
+// per-query worker cap, QueueDepth more wait FIFO, and anything beyond
+// that is rejected immediately with queue_full so overload degrades
+// predictably instead of collapsing.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphsql"
+	"graphsql/internal/wire"
+)
+
+// Config tunes a Server. Zero values pick sensible defaults.
+type Config struct {
+	// DefaultGraph names the graph served when requests omit one;
+	// defaults to "default". The graph is created empty at startup.
+	DefaultGraph string
+	// Parallelism is the engine worker budget of loaded graphs
+	// (0 = one worker per CPU).
+	Parallelism int
+	// MaxInFlight bounds concurrently executing queries; defaults to
+	// GOMAXPROCS.
+	MaxInFlight int
+	// QueueDepth bounds queries waiting for admission: 0 defaults to
+	// 4 × MaxInFlight, negative disables queueing (immediate rejection
+	// once MaxInFlight is reached).
+	QueueDepth int
+	// TotalWorkers is the worker budget admission divides across
+	// queries; defaults to GOMAXPROCS.
+	TotalWorkers int
+	// PerQueryWorkers caps one query's grant; defaults to TotalWorkers.
+	PerQueryWorkers int
+	// QueryTimeout bounds each query's execution; 0 means no limit.
+	QueryTimeout time.Duration
+	// MaxSessions bounds the session table; the least-recently-used
+	// session is evicted beyond it. Defaults to 1024.
+	MaxSessions int
+}
+
+func (c *Config) defaults() {
+	if c.DefaultGraph == "" {
+		c.DefaultGraph = "default"
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.QueueDepth == 0:
+		c.QueueDepth = 4 * c.MaxInFlight
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	}
+	if c.TotalWorkers <= 0 {
+		c.TotalWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+}
+
+// Server is the HTTP query service. Create with New, serve its
+// Handler.
+type Server struct {
+	cfg Config
+	reg *Registry
+	adm *Admission
+	mux *http.ServeMux
+
+	sessMu   sync.Mutex
+	sessions map[string]*serverSession
+	sessTick uint64 // LRU clock
+
+	// counters
+	queries  atomic.Uint64
+	errors   atomic.Uint64
+	canceled atomic.Uint64
+	loads    atomic.Uint64
+	started  time.Time
+}
+
+// serverSession is one client session: per-graph facade sessions so
+// SET settings and prepared plans survive across requests. A reload
+// swaps the graph's database; the stale binding is detected by pointer
+// comparison and replaced (settings reset with the new generation).
+type serverSession struct {
+	mu      sync.Mutex
+	byGraph map[string]*boundSession
+	lastUse uint64
+}
+
+type boundSession struct {
+	db   *graphsql.DB
+	sess *graphsql.Session
+}
+
+// New builds a server and registers its default (empty) graph.
+func New(cfg Config) (*Server, error) {
+	cfg.defaults()
+	s := &Server{
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.Parallelism),
+		adm:      NewAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.TotalWorkers, cfg.PerQueryWorkers),
+		sessions: make(map[string]*serverSession),
+		started:  time.Now(),
+	}
+	if _, _, err := s.reg.Load(cfg.DefaultGraph, "", nil); err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /graphs/{name}/load", s.handleLoad)
+	s.mux = mux
+	return s, nil
+}
+
+// Registry exposes the graph registry (startup preloading, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Admission exposes the scheduler (tests, instrumentation).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// session resolves (or creates) the named session, updating its LRU
+// stamp and evicting the oldest session beyond the cap.
+func (s *Server) session(id string) *serverSession {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	s.sessTick++
+	sess, ok := s.sessions[id]
+	if !ok {
+		if len(s.sessions) >= s.cfg.MaxSessions {
+			var oldestID string
+			var oldest uint64 = ^uint64(0)
+			for k, v := range s.sessions {
+				if v.lastUse < oldest {
+					oldest, oldestID = v.lastUse, k
+				}
+			}
+			delete(s.sessions, oldestID)
+		}
+		sess = &serverSession{byGraph: make(map[string]*boundSession)}
+		s.sessions[id] = sess
+	}
+	sess.lastUse = s.sessTick
+	return sess
+}
+
+// bind resolves the facade session of (session, graph), re-binding when
+// the graph's database was swapped by a reload.
+func (ss *serverSession) bind(graph string, db *graphsql.DB) *graphsql.Session {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	b := ss.byGraph[graph]
+	if b == nil || b.db != db {
+		b = &boundSession{db: db, sess: db.Session()}
+		ss.byGraph[graph] = b
+	}
+	return b.sess
+}
+
+// writeResponse marshals a wire payload with the proper status code.
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.Marshal(payload)
+	if err != nil {
+		http.Error(w, `{"error":{"code":"internal","message":"encoding failed"}}`, http.StatusInternalServerError)
+		return
+	}
+	w.Write(data)
+}
+
+// errorStatus maps wire error codes onto HTTP statuses.
+func errorStatus(code string) int {
+	switch code {
+	case wire.CodeQueueFull:
+		return http.StatusServiceUnavailable
+	case wire.CodeUnknownGraph:
+		return http.StatusNotFound
+	case wire.CodeCanceled:
+		return 499 // client closed request (nginx convention)
+	case wire.CodeTimeout:
+		return http.StatusGatewayTimeout
+	case wire.CodeInvalidRequest:
+		return http.StatusBadRequest
+	case wire.CodeInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *Server) failQuery(w http.ResponseWriter, code string, err error) {
+	s.errors.Add(1)
+	if code == wire.CodeCanceled || code == wire.CodeTimeout {
+		s.canceled.Add(1)
+	}
+	writeJSON(w, errorStatus(code), wire.FromError(code, err))
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		s.failQuery(w, wire.CodeInvalidRequest, err)
+		return
+	}
+	req, err := wire.DecodeRequest(body)
+	if err != nil {
+		s.failQuery(w, wire.CodeInvalidRequest, err)
+		return
+	}
+	if req.SQL == "" {
+		s.failQuery(w, wire.CodeInvalidRequest, errors.New("missing sql"))
+		return
+	}
+	graphName := req.Graph
+	if graphName == "" {
+		graphName = s.cfg.DefaultGraph
+	}
+	db, ok := s.reg.Get(graphName)
+	if !ok {
+		s.failQuery(w, wire.CodeUnknownGraph, fmt.Errorf("graph %q is not loaded", graphName))
+		return
+	}
+
+	// The request context is canceled when the client disconnects; the
+	// timeout (request-level, else server default) stacks on top.
+	ctx := r.Context()
+	timeout := s.cfg.QueryTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	var timedOut func() bool = func() bool { return false }
+	if timeout > 0 {
+		tctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		timedOut = func() bool { return tctx.Err() == context.DeadlineExceeded }
+		ctx = tctx
+	}
+
+	// Resolve the facade session (one-shot sessions are throwaway) and
+	// its worker request for admission.
+	var fsess *graphsql.Session
+	if req.Session != "" {
+		fsess = s.session(req.Session).bind(graphName, db)
+	} else {
+		fsess = db.Session()
+	}
+	want := req.Workers
+	if want <= 0 {
+		if sp := fsess.Parallelism(); sp > 0 {
+			want = sp
+		} else if sp == 0 {
+			want = s.adm.PerQueryCap() // SET parallelism = 0: one per CPU
+		}
+	}
+
+	grant, err := s.adm.Acquire(ctx, want)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.failQuery(w, wire.CodeQueueFull, err)
+		case timedOut():
+			s.failQuery(w, wire.CodeTimeout, err)
+		default:
+			s.failQuery(w, wire.CodeCanceled, err)
+		}
+		return
+	}
+	defer grant.Release()
+
+	s.queries.Add(1)
+	res, err := fsess.QueryOpts(ctx, graphsql.QueryOptions{Workers: grant.Workers}, req.SQL, req.Args...)
+	if err != nil {
+		switch {
+		case timedOut():
+			s.failQuery(w, wire.CodeTimeout, err)
+		case ctx.Err() != nil:
+			s.failQuery(w, wire.CodeCanceled, err)
+		default:
+			s.failQuery(w, wire.CodeSQL, err)
+		}
+		return
+	}
+	data, err := wire.FromResult(res).Encode()
+	if err != nil {
+		s.failQuery(w, wire.CodeInternal, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, &wire.LoadResponse{Graph: name, Error: &wire.Error{Code: wire.CodeInvalidRequest, Message: err.Error()}})
+		return
+	}
+	var req wire.LoadRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, &wire.LoadResponse{Graph: name, Error: &wire.Error{Code: wire.CodeInvalidRequest, Message: err.Error()}})
+		return
+	}
+	gen, tables, err := s.reg.Load(name, req.Script, req.Indexes)
+	if err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, &wire.LoadResponse{Graph: name, Error: &wire.Error{Code: wire.CodeSQL, Message: err.Error()}})
+		return
+	}
+	s.loads.Add(1)
+	writeJSON(w, http.StatusOK, &wire.LoadResponse{Graph: name, Generation: gen, Tables: tables})
+}
+
+// StatsResponse is the GET /stats payload.
+type StatsResponse struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Queries       uint64            `json:"queries"`
+	Errors        uint64            `json:"errors"`
+	Canceled      uint64            `json:"canceled"`
+	Loads         uint64            `json:"loads"`
+	Sessions      int               `json:"sessions"`
+	Admission     AdmissionSnapshot `json:"admission"`
+	Graphs        []GraphInfo       `json:"graphs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.sessMu.Lock()
+	sessions := len(s.sessions)
+	s.sessMu.Unlock()
+	writeJSON(w, http.StatusOK, &StatsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Queries:       s.queries.Load(),
+		Errors:        s.errors.Load(),
+		Canceled:      s.canceled.Load(),
+		Loads:         s.loads.Load(),
+		Sessions:      sessions,
+		Admission:     s.adm.Snapshot(),
+		Graphs:        s.reg.Info(),
+	})
+}

@@ -1,0 +1,349 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphsql"
+	"graphsql/internal/testutil"
+	"graphsql/internal/wire"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+func postJSON(t *testing.T, url string, payload any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func loadCorpus(t *testing.T, base, graph string) {
+	t.Helper()
+	status, body := postJSON(t, base+"/graphs/"+graph+"/load",
+		&wire.LoadRequest{Script: testutil.SetupScript()})
+	if status != http.StatusOK {
+		t.Fatalf("load: status %d: %s", status, body)
+	}
+}
+
+// expectedBodies runs every corpus query in-process and wire-encodes
+// the results — the reference the HTTP bodies must match byte for byte.
+func expectedBodies(t *testing.T) map[string][]byte {
+	t.Helper()
+	db := graphsql.Open()
+	if _, err := db.ExecScript(testutil.SetupScript()); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte)
+	for _, q := range testutil.Queries() {
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("direct: %v\nquery: %s", err, q)
+		}
+		data, err := wire.FromResult(res).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[q] = data
+	}
+	return out
+}
+
+// TestServerDifferentialConcurrent is the acceptance scenario: 8
+// concurrent HTTP clients replay the differential corpus and require
+// responses byte-identical to in-process execution, while a reloader
+// swaps the graph under load and a canceler aborts in-flight queries —
+// all race-clean under -race.
+func TestServerDifferentialConcurrent(t *testing.T) {
+	// Admission must admit all 8 clients plus the background load;
+	// overload behavior is tested separately (TestServerAdmissionRejects).
+	_, hs := newTestServer(t, Config{MaxInFlight: 16, QueueDepth: 128, TotalWorkers: 16})
+	loadCorpus(t, hs.URL, "default")
+	want := expectedBodies(t)
+	queries := testutil.Queries()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients+2)
+	stop := make(chan struct{})
+
+	// Reloader: rebuilds the same dataset, so results never change but
+	// every swap exercises copy-on-swap under live traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			status, body := postJSON(t, hs.URL+"/graphs/default/load",
+				&wire.LoadRequest{Script: testutil.SetupScript()})
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("reload under load: status %d: %s", status, body)
+				return
+			}
+		}
+	}()
+
+	// Canceler: issues queries with contexts canceled mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+i)*time.Millisecond)
+			reqBody, _ := json.Marshal(&wire.QueryRequest{
+				SQL: `SELECT p1.id, p2.id, CHEAPEST SUM(1) FROM people p1, people p2
+				      WHERE p1.id REACHES p2.id OVER knows EDGE (src, dst)`,
+			})
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost, hs.URL+"/query", bytes.NewReader(reqBody))
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				// Finished before the deadline — legal, just consume it.
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			cancel()
+		}
+	}()
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			session := fmt.Sprintf("client-%d", c)
+			for i, q := range queries {
+				// Stagger starting points so clients collide on
+				// different queries.
+				q = queries[(i+c*7)%len(queries)]
+				status, body := postJSON(t, hs.URL+"/query",
+					&wire.QueryRequest{SQL: q, Session: session})
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("client %d: status %d: %s\nquery: %s", c, status, body, q)
+					return
+				}
+				if !bytes.Equal(body, want[q]) {
+					errs <- fmt.Errorf("client %d: body differs from in-process execution\nquery: %s\ngot:  %s\nwant: %s",
+						c, q, body, want[q])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestServerSessionSettings checks that SET parallelism persists within
+// a session (and only there) and that results are unchanged by it.
+func TestServerSessionSettings(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	loadCorpus(t, hs.URL, "default")
+
+	status, body := postJSON(t, hs.URL+"/query",
+		&wire.QueryRequest{SQL: `SET parallelism = 1`, Session: "s1"})
+	if status != http.StatusOK {
+		t.Fatalf("SET: status %d: %s", status, body)
+	}
+	// An unknown setting errors.
+	status, body = postJSON(t, hs.URL+"/query",
+		&wire.QueryRequest{SQL: `SET bogus = 3`, Session: "s1"})
+	if status == http.StatusOK {
+		t.Fatalf("SET bogus succeeded: %s", body)
+	}
+	q := `SELECT p.a, p.b, CHEAPEST SUM(k: w) AS cost FROM pairs p
+	 WHERE p.a REACHES p.b OVER knows k EDGE (src, dst) ORDER BY cost DESC, p.a, p.b`
+	var bodies [][]byte
+	for _, sess := range []string{"s1", "s2", ""} {
+		status, body := postJSON(t, hs.URL+"/query", &wire.QueryRequest{SQL: q, Session: sess})
+		if status != http.StatusOK {
+			t.Fatalf("session %q: status %d: %s", sess, status, body)
+		}
+		bodies = append(bodies, body)
+	}
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("session parallelism changed results:\n%s\nvs\n%s", bodies[0], bodies[i])
+		}
+	}
+}
+
+// TestServerWorkersField checks the per-request workers override is
+// accepted and result-invariant.
+func TestServerWorkersField(t *testing.T) {
+	_, hs := newTestServer(t, Config{TotalWorkers: 8, MaxInFlight: 4})
+	loadCorpus(t, hs.URL, "default")
+	q := `SELECT src FROM knows UNION SELECT dst FROM knows`
+	var ref []byte
+	for _, workers := range []int{0, 1, 2, 5} {
+		status, body := postJSON(t, hs.URL+"/query", &wire.QueryRequest{SQL: q, Workers: workers})
+		if status != http.StatusOK {
+			t.Fatalf("workers=%d: status %d: %s", workers, status, body)
+		}
+		if ref == nil {
+			ref = body
+		} else if !bytes.Equal(ref, body) {
+			t.Fatalf("workers=%d changed the result", workers)
+		}
+	}
+}
+
+// TestServerAdmissionRejects fills the in-flight and queue capacity by
+// holding grants directly, then checks the HTTP layer rejects with 503
+// queue_full — deterministic, no timing.
+func TestServerAdmissionRejects(t *testing.T) {
+	s, hs := newTestServer(t, Config{MaxInFlight: 1, QueueDepth: -1, TotalWorkers: 2})
+	grant, err := s.Admission().Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer grant.Release()
+	status, body := postJSON(t, hs.URL+"/query", &wire.QueryRequest{SQL: `SELECT 1`})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("expected 503, got %d: %s", status, body)
+	}
+	var resp wire.QueryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Code != wire.CodeQueueFull {
+		t.Fatalf("expected queue_full error, got %s", body)
+	}
+}
+
+// TestServerCancellation issues a heavy query with a tiny timeout and
+// requires a clean canceled/timeout error plus counter movement.
+func TestServerCancellation(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	loadCorpus(t, hs.URL, "default")
+	// An all-pairs batched REACHES (400 source groups over a 160k-row
+	// cross product) is far beyond a 1ms budget on any machine.
+	status, body := postJSON(t, hs.URL+"/query", &wire.QueryRequest{
+		SQL: `SELECT p1.id, p2.id, CHEAPEST SUM(1) FROM people p1, people p2
+		      WHERE p1.id REACHES p2.id OVER knows EDGE (src, dst)`,
+		TimeoutMillis: 1,
+	})
+	if status == http.StatusOK {
+		t.Fatalf("expected cancellation, got 200: %s", body)
+	}
+	var resp wire.QueryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || (resp.Error.Code != wire.CodeTimeout && resp.Error.Code != wire.CodeCanceled) {
+		t.Fatalf("expected timeout/canceled, got %s", body)
+	}
+	if got := s.canceled.Load(); got == 0 {
+		t.Fatal("canceled counter did not move")
+	}
+	// The server stays healthy afterwards.
+	status, body = postJSON(t, hs.URL+"/query", &wire.QueryRequest{SQL: `SELECT COUNT(*) FROM knows`})
+	if status != http.StatusOK {
+		t.Fatalf("post-cancel query failed: %d: %s", status, body)
+	}
+}
+
+// TestServerStatsAndHealth sanity-checks the monitoring endpoints.
+func TestServerStatsAndHealth(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	loadCorpus(t, hs.URL, "g2")
+	if _, body := postJSON(t, hs.URL+"/query", &wire.QueryRequest{SQL: `SELECT COUNT(*) FROM teams`, Graph: "g2"}); !strings.Contains(string(body), `"rows":[[12]]`) {
+		t.Fatalf("unexpected query body: %s", body)
+	}
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	sresp, err := http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries == 0 {
+		t.Fatal("stats: no queries counted")
+	}
+	found := false
+	for _, g := range stats.Graphs {
+		if g.Name == "g2" && g.Tables == 4 && g.Generation == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stats: graph g2 missing or wrong: %+v", stats.Graphs)
+	}
+}
+
+// TestServerUnknownGraph checks the 404 path.
+func TestServerUnknownGraph(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	status, body := postJSON(t, hs.URL+"/query", &wire.QueryRequest{SQL: `SELECT 1`, Graph: "nope"})
+	if status != http.StatusNotFound {
+		t.Fatalf("expected 404, got %d: %s", status, body)
+	}
+}
+
+// TestServerIndexedLoad loads with a prebuilt graph index and checks
+// graph queries still match in-process execution byte for byte.
+func TestServerIndexedLoad(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	status, body := postJSON(t, hs.URL+"/graphs/default/load", &wire.LoadRequest{
+		Script:  testutil.SetupScript(),
+		Indexes: []wire.IndexSpec{{Table: "knows", Src: "src", Dst: "dst"}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("indexed load: %d: %s", status, body)
+	}
+	want := expectedBodies(t)
+	for _, q := range testutil.Queries() {
+		status, body := postJSON(t, hs.URL+"/query", &wire.QueryRequest{SQL: q})
+		if status != http.StatusOK {
+			t.Fatalf("status %d: %s\nquery: %s", status, body, q)
+		}
+		if !bytes.Equal(body, want[q]) {
+			t.Fatalf("indexed body differs\nquery: %s\ngot:  %s\nwant: %s", q, body, want[q])
+		}
+	}
+}

@@ -103,6 +103,18 @@ type InsertStmt struct {
 // DropTableStmt is DROP TABLE name.
 type DropTableStmt struct{ Name string }
 
+// SetStmt is SET name = value | SET name = DEFAULT. Settings are
+// session-scoped when executed through a session (the server, or the
+// facade's Session API) and engine-wide otherwise. The only setting
+// today is `parallelism`.
+type SetStmt struct {
+	Name string
+	// Value is the assigned expression; nil when Default is set.
+	Value Expr
+	// Default marks SET name = DEFAULT (reset to the inherited value).
+	Default bool
+}
+
 // DeleteStmt is DELETE FROM name [WHERE expr].
 type DeleteStmt struct {
 	Table string
@@ -114,6 +126,7 @@ func (*CreateTableStmt) stmt() {}
 func (*InsertStmt) stmt()      {}
 func (*DropTableStmt) stmt()   {}
 func (*DeleteStmt) stmt()      {}
+func (*SetStmt) stmt()         {}
 
 // ---------------------------------------------------------------------------
 // Table expressions

@@ -69,6 +69,7 @@ var keywords = map[string]bool{
 	"TRUE": true, "FALSE": true, "EXISTS": true, "DROP": true, "DELETE": true,
 	"PRIMARY": true, "KEY": true, "DEFAULT": true, "LATERAL": true,
 	"ORDINALITY": true, "NULLS": true, "FIRST": true, "LAST": true,
+	"SET": true,
 	// Graph extension keywords (paper §2, §3.1):
 	"REACHES": true, "OVER": true, "EDGE": true, "CHEAPEST": true, "UNNEST": true,
 	// Type names:

@@ -188,8 +188,30 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 		return p.parseDropTable()
 	case "DELETE":
 		return p.parseDelete()
+	case "SET":
+		return p.parseSet()
 	}
 	return nil, p.errorf("unsupported statement %s", t.Text)
+}
+
+// parseSet consumes SET name = value | SET name = DEFAULT.
+func (p *Parser) parseSet() (ast.Statement, error) {
+	p.next() // SET
+	name, err := p.expectIdent("setting name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("DEFAULT") {
+		return &ast.SetStmt{Name: name, Default: true}, nil
+	}
+	v, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.SetStmt{Name: name, Value: v}, nil
 }
 
 func (p *Parser) parseCreateTable() (ast.Statement, error) {

@@ -1,0 +1,211 @@
+// Package wire defines the structured result and error encoding shared
+// by the gsqld HTTP server and the gsql CLI's --json mode. The encoding
+// is deterministic — the same Result always marshals to the same bytes
+// — which is what the server's differential tests lean on: an HTTP
+// response body must be byte-identical to the wire encoding of the same
+// query executed in-process.
+//
+// Cell mapping (lossless for everything the engine produces):
+//
+//	NULL              -> null
+//	BIGINT            -> JSON number (int64, exact)
+//	DOUBLE            -> JSON number (shortest round-trip form)
+//	VARCHAR / BOOLEAN -> JSON string / bool
+//	DATE              -> "YYYY-MM-DD" string
+//	nested-table path -> {"columns": [...], "rows": [[...], ...]}
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"graphsql"
+)
+
+// Error codes. Stable strings, part of the wire contract.
+const (
+	// CodeInvalidRequest marks malformed HTTP/JSON input.
+	CodeInvalidRequest = "invalid_request"
+	// CodeSQL marks parse, bind and execution errors.
+	CodeSQL = "sql_error"
+	// CodeCanceled marks a query stopped by client disconnect.
+	CodeCanceled = "canceled"
+	// CodeTimeout marks a query stopped by the server's deadline.
+	CodeTimeout = "timeout"
+	// CodeQueueFull marks admission rejection (queue at capacity).
+	CodeQueueFull = "queue_full"
+	// CodeUnknownGraph marks a request naming an unregistered graph.
+	CodeUnknownGraph = "unknown_graph"
+	// CodeInternal marks server-side failures (encoding, invariants).
+	CodeInternal = "internal"
+)
+
+// Error is the structured error payload.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// QueryRequest is the POST /query payload.
+type QueryRequest struct {
+	// Graph names the target graph; empty means the server's default.
+	Graph string `json:"graph,omitempty"`
+	// Session is an opaque client-chosen session id; requests sharing
+	// it share prepared plans and SET settings. Empty = one-shot.
+	Session string `json:"session,omitempty"`
+	// SQL is the statement text (? placeholders bind Args).
+	SQL string `json:"sql"`
+	// Args are the positional arguments. Decode with DecodeRequest so
+	// integral numbers arrive as int64, not float64.
+	Args []any `json:"args,omitempty"`
+	// Workers caps this statement's worker budget (0 = inherit the
+	// session setting, then the server default).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMillis bounds execution; 0 inherits the server default.
+	TimeoutMillis int `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse is the POST /query result payload. Exactly one of
+// (Columns+Rows) and Error is populated.
+type QueryResponse struct {
+	Columns  []string `json:"columns,omitempty"`
+	Rows     [][]any  `json:"rows,omitempty"`
+	RowCount int      `json:"row_count"`
+	Error    *Error   `json:"error,omitempty"`
+}
+
+// PathValue is the wire form of a nested-table path cell.
+type PathValue struct {
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+}
+
+// LoadRequest is the POST /graphs/{name}/load payload: a SQL script
+// that builds the graph's dataset from scratch, plus optional graph
+// indexes to prebuild. The server constructs a fresh database, runs the
+// script, builds the indexes, and only then swaps it in — readers keep
+// the previous generation until the swap (copy-on-swap).
+type LoadRequest struct {
+	Script  string      `json:"script"`
+	Indexes []IndexSpec `json:"indexes,omitempty"`
+}
+
+// IndexSpec names one graph index to prebuild at load time.
+type IndexSpec struct {
+	Table string `json:"table"`
+	Src   string `json:"src"`
+	Dst   string `json:"dst"`
+}
+
+// LoadResponse reports a completed load.
+type LoadResponse struct {
+	Graph      string `json:"graph"`
+	Generation int64  `json:"generation"`
+	Tables     int    `json:"tables"`
+	Error      *Error `json:"error,omitempty"`
+}
+
+// FromResult converts a materialized query result into its wire form.
+func FromResult(res *graphsql.Result) *QueryResponse {
+	out := &QueryResponse{Columns: res.Columns, RowCount: len(res.Rows)}
+	if len(res.Rows) > 0 {
+		out.Rows = make([][]any, len(res.Rows))
+		for i, row := range res.Rows {
+			enc := make([]any, len(row))
+			for j, v := range row {
+				enc[j] = encodeCell(v)
+			}
+			out.Rows[i] = enc
+		}
+	}
+	return out
+}
+
+// FromError wraps an error into a response payload.
+func FromError(code string, err error) *QueryResponse {
+	return &QueryResponse{Error: &Error{Code: code, Message: err.Error()}}
+}
+
+// Encode marshals the response deterministically (json.Marshal emits
+// struct fields in declaration order and map-free payloads verbatim).
+func (r *QueryResponse) Encode() ([]byte, error) { return json.Marshal(r) }
+
+func encodeCell(v any) any {
+	switch t := v.(type) {
+	case time.Time:
+		return t.Format("2006-01-02")
+	case *graphsql.Path:
+		p := &PathValue{Columns: t.Columns, Rows: make([][]any, len(t.Rows))}
+		for i, row := range t.Rows {
+			enc := make([]any, len(row))
+			for j, c := range row {
+				enc[j] = encodeCell(c)
+			}
+			p.Rows[i] = enc
+		}
+		return p
+	default:
+		return v
+	}
+}
+
+// DecodeRequest unmarshals a QueryRequest preserving integer arguments:
+// a bare json.Unmarshal turns every number into float64, which would
+// bind BIGINT vertex keys as DOUBLE. Numbers are decoded as
+// json.Number and normalized to int64 when integral.
+func DecodeRequest(data []byte) (*QueryRequest, error) {
+	var req QueryRequest
+	if err := unmarshalUseNumber(data, &req); err != nil {
+		return nil, err
+	}
+	args, err := NormalizeArgs(req.Args)
+	if err != nil {
+		return nil, err
+	}
+	req.Args = args
+	return &req, nil
+}
+
+func unmarshalUseNumber(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	return dec.Decode(v)
+}
+
+// NormalizeArgs converts decoded JSON argument values into the types
+// the facade binds: json.Number becomes int64 when integral and
+// float64 otherwise; strings, bools and nulls pass through.
+func NormalizeArgs(args []any) ([]any, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]any, len(args))
+	for i, a := range args {
+		switch t := a.(type) {
+		case nil, string, bool:
+			out[i] = a
+		case json.Number:
+			if n, err := t.Int64(); err == nil {
+				out[i] = n
+				continue
+			}
+			f, err := t.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("argument %d: invalid number %q", i+1, t.String())
+			}
+			out[i] = f
+		case float64:
+			out[i] = t
+		case int64, int:
+			out[i] = t
+		default:
+			return nil, fmt.Errorf("argument %d: unsupported JSON type %T", i+1, a)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"graphsql"
+)
+
+func TestEncodeCells(t *testing.T) {
+	res := &graphsql.Result{
+		Columns: []string{"i", "f", "s", "b", "d", "n", "p"},
+		Rows: [][]any{{
+			int64(9007199254740993), // > 2^53: must stay exact
+			1.5,
+			"x",
+			true,
+			time.Date(2017, 5, 19, 0, 0, 0, 0, time.UTC),
+			nil,
+			&graphsql.Path{Columns: []string{"src", "dst"}, Rows: [][]any{{int64(1), int64(2)}}},
+		}},
+	}
+	data, err := FromResult(res).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	for _, want := range []string{
+		`9007199254740993`,
+		`1.5`,
+		`"x"`,
+		`true`,
+		`"2017-05-19"`,
+		`null`,
+		`{"columns":["src","dst"],"rows":[[1,2]]}`,
+		`"row_count":1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("encoding missing %s:\n%s", want, got)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	res := &graphsql.Result{Columns: []string{"a"}, Rows: [][]any{{int64(1)}, {int64(2)}}}
+	a, _ := FromResult(res).Encode()
+	b, _ := FromResult(res).Encode()
+	if string(a) != string(b) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestDecodeRequestIntegerArgs(t *testing.T) {
+	req, err := DecodeRequest([]byte(`{"sql":"SELECT ?","args":[1, 2.5, "x", true, null, 9007199254740993]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := req.Args[0].(int64); !ok {
+		t.Fatalf("arg 0: %T, want int64", req.Args[0])
+	}
+	if _, ok := req.Args[1].(float64); !ok {
+		t.Fatalf("arg 1: %T, want float64", req.Args[1])
+	}
+	if req.Args[2] != "x" || req.Args[3] != true || req.Args[4] != nil {
+		t.Fatalf("args: %+v", req.Args)
+	}
+	if got := req.Args[5].(int64); got != 9007199254740993 {
+		t.Fatalf("large integer lost precision: %d", got)
+	}
+}
+
+func TestDecodeRequestRejectsGarbage(t *testing.T) {
+	if _, err := DecodeRequest([]byte(`{"sql":`)); err == nil {
+		t.Fatal("expected error for truncated JSON")
+	}
+	if _, err := DecodeRequest([]byte(`{"sql":"q","args":[[1]]}`)); err == nil {
+		t.Fatal("expected error for nested-array argument")
+	}
+}
+
+func TestErrorPayload(t *testing.T) {
+	data, err := json.Marshal(FromError(CodeQueueFull, ErrTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"code":"queue_full"`) {
+		t.Fatalf("bad error payload: %s", data)
+	}
+}
+
+// ErrTest is a fixture error.
+var ErrTest = &Error{Code: "x", Message: "boom"}

@@ -1,0 +1,151 @@
+package graphsql
+
+import (
+	"context"
+	"sync"
+
+	"graphsql/internal/engine"
+	"graphsql/internal/types"
+)
+
+// Session is a server-friendly handle over a shared DB: it carries
+// session-scoped settings (`SET parallelism = n` applies to the session
+// only) and a prepared-plan cache keyed by statement text and argument
+// kinds, so repeated queries skip parse, bind and rewrite. Sessions are
+// cheap; create one per client connection. A Session serializes its own
+// statements but runs concurrently with other sessions (SELECTs share
+// the DB's read lock).
+type Session struct {
+	db *DB
+
+	mu sync.Mutex
+	// parallelism is the session worker budget: -1 inherits the DB
+	// value, 0 means one worker per CPU, n >= 1 caps the pool.
+	parallelism int
+	plans       map[string]*engine.Prepared
+}
+
+// maxSessionPlans bounds the prepared-plan cache; when full, the cache
+// is dropped wholesale (a session replaying a bounded statement set —
+// the common case — never hits this).
+const maxSessionPlans = 256
+
+// Session creates a new session over the database.
+func (db *DB) Session() *Session {
+	return &Session{db: db, parallelism: -1, plans: make(map[string]*engine.Prepared)}
+}
+
+// Parallelism reports the session's worker-budget setting: -1 when the
+// session inherits the DB value, otherwise the value of the last
+// `SET parallelism`.
+func (s *Session) Parallelism() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parallelism
+}
+
+// QueryOptions carries per-statement overrides of a session query.
+type QueryOptions struct {
+	// Workers caps the worker budget of this statement only; it beats
+	// the session's SET parallelism, which beats the DB default. 0 (or
+	// negative) inherits.
+	Workers int
+}
+
+// Query runs one statement in the session. SET statements update the
+// session's settings; everything else behaves like DB.QueryCtx with the
+// session's settings applied.
+func (s *Session) Query(ctx context.Context, sql string, args ...any) (*Result, error) {
+	return s.QueryOpts(ctx, QueryOptions{}, sql, args...)
+}
+
+// QueryOpts is Query with per-statement overrides.
+func (s *Session) QueryOpts(ctx context.Context, qo QueryOptions, sql string, args ...any) (*Result, error) {
+	params, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	override := s.parallelism
+	if qo.Workers > 0 {
+		override = qo.Workers
+	}
+	opts := &engine.ExecOptions{Parallelism: override, OnSet: s.applySet}
+
+	db := s.db
+	db.mu.RLock()
+	key := planKey(sql, params)
+	p := s.plans[key]
+	if p == nil || p.Stale(db.eng, params) {
+		p, err = db.eng.Prepare(sql, params...)
+		if err != nil {
+			db.mu.RUnlock()
+			return nil, err
+		}
+		if p.IsSelect() || p.IsSet() {
+			if len(s.plans) >= maxSessionPlans {
+				s.plans = make(map[string]*engine.Prepared)
+			}
+			s.plans[key] = p
+		}
+	}
+	if p.IsSelect() || p.IsSet() {
+		// Reads — and session-scoped SETs, which never touch the engine
+		// thanks to applySet — stay under the read lock.
+		defer db.mu.RUnlock()
+		chunk, err := db.eng.ExecPrepared(ctx, p, opts, params...)
+		if err != nil {
+			return nil, err
+		}
+		if chunk == nil {
+			return &Result{}, nil
+		}
+		return chunkToResult(chunk), nil
+	}
+	db.mu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Writes carry no bound plan, so ExecPrepared binds them here
+	// against the current catalog — no second parse.
+	chunk, err := db.eng.ExecPrepared(ctx, p, opts, params...)
+	if err != nil {
+		return nil, err
+	}
+	if chunk == nil {
+		return &Result{}, nil
+	}
+	return chunkToResult(chunk), nil
+}
+
+// applySet scopes SET statements to the session; called by the engine
+// with the session mutex already held (QueryOpts holds it).
+func (s *Session) applySet(name string, v types.Value) (bool, error) {
+	switch name {
+	case "parallelism":
+		if v.Null {
+			s.parallelism = -1 // back to inheriting the DB value
+		} else {
+			s.parallelism = int(v.I)
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// planKey builds the session plan-cache key: the statement text plus
+// the argument kinds it was bound with (the same text bound with
+// differently-typed arguments produces a different plan).
+func planKey(sql string, params []types.Value) string {
+	if len(params) == 0 {
+		return sql
+	}
+	b := make([]byte, 0, len(sql)+1+len(params))
+	b = append(b, sql...)
+	b = append(b, 0)
+	for _, p := range params {
+		b = append(b, byte(p.K))
+	}
+	return string(b)
+}
