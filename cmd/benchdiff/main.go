@@ -1,18 +1,24 @@
-// Command benchdiff compares -exp parallel / -exp execpar JSON
-// artifacts against a committed baseline (bench_baseline.json) and
-// fails when a configuration's self-relative speedup regressed by more
-// than the threshold. Speedups — not absolute seconds — are compared,
-// so the check is meaningful across hosts of the same shape; points
-// whose baseline carries no parallel signal (speedup ≤ the signal
-// floor, e.g. a single-core recording host) are skipped and reported.
+// Command benchdiff compares -exp parallel / -exp execpar / -exp
+// bfspar JSON artifacts against a committed baseline
+// (bench_baseline.json) and fails when a configuration's self-relative
+// speedup regressed by more than the threshold. Speedups — not
+// absolute seconds — are compared, so the check is meaningful across
+// hosts of the same shape; points whose baseline carries no parallel
+// signal (speedup ≤ the signal floor, e.g. a single-core recording
+// host) are skipped and reported.
 //
 //	go run ./cmd/benchdiff -baseline bench_baseline.json \
-//	    -parallel parallel.json -execpar execpar.json
+//	    -parallel parallel.json -execpar execpar.json -bfspar bfspar.json
 //
 // Record a fresh baseline with -record:
 //
 //	go run ./cmd/benchdiff -record -baseline bench_baseline.json \
-//	    -parallel parallel.json -execpar execpar.json
+//	    -parallel parallel.json -execpar execpar.json -bfspar bfspar.json
+//
+// Exit codes: 0 ok, 1 regression, 2 nothing compared (every point was
+// skipped — the gate is unarmed, typically a baseline recorded on a
+// host without parallel signal; re-record on the CI host class, or
+// pass -allow-empty to accept an unarmed gate explicitly).
 package main
 
 import (
@@ -24,12 +30,13 @@ import (
 	"graphsql/internal/bench"
 )
 
-// Baseline is the committed perf-trajectory reference: the two bench
+// Baseline is the committed perf-trajectory reference: the bench
 // artifacts plus a note about the host that recorded them.
 type Baseline struct {
 	Host     string                `json:"host"`
 	Parallel []bench.ParallelPoint `json:"parallel"`
 	ExecPar  []bench.ExecParPoint  `json:"execpar"`
+	BfsPar   []bench.BfsParPoint   `json:"bfspar,omitempty"`
 }
 
 func readJSON(path string, v any) error {
@@ -44,11 +51,13 @@ func main() {
 	baselinePath := flag.String("baseline", "bench_baseline.json", "baseline file")
 	parallelPath := flag.String("parallel", "", "-exp parallel artifact")
 	execparPath := flag.String("execpar", "", "-exp execpar artifact")
+	bfsparPath := flag.String("bfspar", "", "-exp bfspar artifact")
 	threshold := flag.Float64("max-regression", 0.25, "fail when speedup drops by more than this fraction")
 	signalFloor := flag.Float64("signal-floor", 1.05, "skip baseline points whose speedup is below this (no parallel signal)")
 	minSeconds := flag.Float64("min-seconds", 0.002, "skip points faster than this (scheduler noise)")
 	record := flag.Bool("record", false, "write the artifacts as the new baseline instead of comparing")
 	host := flag.String("host", "", "host label stored with -record")
+	allowEmpty := flag.Bool("allow-empty", false, "exit 0 even when every point was skipped (gate unarmed)")
 	flag.Parse()
 
 	var cur Baseline
@@ -62,6 +71,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *bfsparPath != "" {
+		if err := readJSON(*bfsparPath, &cur.BfsPar); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *record {
 		cur.Host = *host
@@ -72,8 +86,8 @@ func main() {
 		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("baseline recorded to %s (%d parallel, %d execpar points)\n",
-			*baselinePath, len(cur.Parallel), len(cur.ExecPar))
+		fmt.Printf("baseline recorded to %s (%d parallel, %d execpar, %d bfspar points)\n",
+			*baselinePath, len(cur.Parallel), len(cur.ExecPar), len(cur.BfsPar))
 		return
 	}
 
@@ -93,6 +107,10 @@ func main() {
 	baseExec := map[string]point{}
 	for _, p := range base.ExecPar {
 		baseExec[fmt.Sprintf("%s/sf%d/w%d", p.Workload, p.SF, p.Workers)] = point{p.Speedup, p.Seconds}
+	}
+	baseBfs := map[string]point{}
+	for _, p := range base.BfsPar {
+		baseBfs[fmt.Sprintf("bfspar/sf%d/w%d", p.SF, p.Workers)] = point{p.Speedup, p.TraversalSeconds}
 	}
 
 	compared, skipped, failures := 0, 0, 0
@@ -127,6 +145,14 @@ func main() {
 			skipped++
 		}
 	}
+	for _, p := range cur.BfsPar {
+		key := fmt.Sprintf("bfspar/sf%d/w%d", p.SF, p.Workers)
+		if b, ok := baseBfs[key]; ok {
+			check(key, b, p.Speedup, p.TraversalSeconds)
+		} else {
+			skipped++
+		}
+	}
 	fmt.Printf("\nbenchdiff: %d compared, %d skipped (no baseline match or below signal/noise floors), %d regression(s)\n",
 		compared, skipped, failures)
 	if base.Host != "" {
@@ -134,6 +160,15 @@ func main() {
 	}
 	if failures > 0 {
 		os.Exit(1)
+	}
+	if compared == 0 && skipped > 0 && !*allowEmpty {
+		fmt.Println("benchdiff: UNARMED — every point was skipped, so this run gated nothing.")
+		fmt.Println("The committed baseline has no parallel signal (or does not match the run shapes).")
+		fmt.Println("Re-record it on the CI host class:")
+		fmt.Println("  go run ./cmd/benchdiff -record -baseline bench_baseline.json \\")
+		fmt.Println("      -parallel parallel.json -execpar execpar.json -bfspar bfspar.json -host \"$(nproc)-core ci\"")
+		fmt.Println("then commit the file; or pass -allow-empty to accept an unarmed gate explicitly.")
+		os.Exit(2)
 	}
 }
 

@@ -8,6 +8,13 @@
 //
 // Meta commands: \d lists tables, \explain SELECT ... prints the plan,
 // \q quits.
+//
+// Queries run with the engine's full worker budget: batched REACHES
+// queries parallelize across source groups, and single-source queries
+// over large graphs parallelize within the traversal (frontier-
+// parallel BFS) — results are bit-identical either way. Ctrl-C exits
+// the shell; for cancelable queries use the HTTP daemon (cmd/gsqld),
+// which aborts a running traversal when the client disconnects.
 package main
 
 import (

@@ -9,6 +9,14 @@
 //	$ curl -s -X POST localhost:8765/query \
 //	    -d '{"sql": "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER knows EDGE (src, dst)", "args": [1, 42]}'
 //
+// Disconnecting a client (or a -timeout / timeout_ms expiry) cancels
+// the query's context; cancellation reaches inside a single running
+// traversal (per-level in the frontier-parallel BFS, every few
+// thousand pops in BFS/Dijkstra), so an abandoned query frees its
+// worker grant within milliseconds — see the README's "Cancellation
+// granularity". A request canceled while queued for admission never
+// consumes a slot.
+//
 // See the README's "Running as a server" section for the full API.
 package main
 

@@ -46,7 +46,11 @@
 //
 // For service workloads, SELECTs run concurrently under a read lock
 // while writes serialize, QueryCtx threads a context.Context through
-// execution (cancellation at operator and solver chunk boundaries),
+// execution — checked at operator boundaries, between per-source
+// traversals of a batched solve, and inside a single traversal (BFS
+// and Dijkstra poll every few thousand queue pops; the
+// frontier-parallel BFS polls per level), so even a single-source
+// query over a huge graph aborts within milliseconds of cancellation —
 // and Session handles add session-scoped settings (SET parallelism)
 // plus a prepared parse+plan cache:
 //
@@ -231,8 +235,10 @@ func (db *DB) Query(sql string, args ...any) (*Result, error) {
 }
 
 // QueryCtx is Query with a cancellation context: when ctx is canceled
-// (client disconnect, timeout) execution stops at the next operator or
-// solver chunk boundary and returns the context's error. SELECT
+// (client disconnect, timeout) execution stops at the next operator
+// boundary, source-group boundary, or in-traversal poll (every few
+// thousand queue pops; per level in the frontier-parallel BFS) and
+// returns the context's error. SELECT
 // statements run under the read lock — concurrent with each other —
 // while everything else takes the write lock.
 func (db *DB) QueryCtx(ctx context.Context, sql string, args ...any) (*Result, error) {

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"graphsql/internal/graph"
+	"graphsql/internal/ldbc"
+)
+
+// BfsParPoint is one measurement of the -exp bfspar experiment: a
+// single-source unweighted traversal (the non-batched case the
+// across-source solver pool cannot help) executed with a fixed
+// intra-source worker budget, plus the observed cancel latency. The
+// JSON field names are stable — cmd/benchdiff tracks the perf
+// trajectory with them.
+type BfsParPoint struct {
+	SF      int `json:"sf"`
+	Shrink  int `json:"shrink"`
+	Workers int `json:"workers"`
+	// TraversalSeconds is the mean single-source solve time.
+	TraversalSeconds float64 `json:"traversal_seconds"`
+	// Speedup is relative to the smallest worker count of the sweep.
+	Speedup float64 `json:"speedup"`
+	// CancelMillis is the latency from context cancellation to Solve
+	// returning, measured on one traversal canceled mid-flight; 0 when
+	// the traversal finished before the cancel fired (graph too small
+	// to catch in flight).
+	CancelMillis float64 `json:"cancel_ms"`
+}
+
+// BfsPar runs the intra-source scalability experiment: single-source
+// Q13-shaped traversals (one pair per solve, so exactly one source
+// group) over the LDBC friends graph, swept over o.Workers. With one
+// source group the across-source pool is idle and any speedup comes
+// from the frontier-parallel BFS levels. The destination is an
+// isolated sink vertex, so every traversal explores its source's whole
+// component — the worst case the cancellation granularity targets —
+// rather than early-exiting at a nearby random destination. Each sweep
+// point also cancels one traversal mid-flight and reports the abort
+// latency — the cancellation-granularity metric of the server's
+// disconnect handling.
+func BfsPar(o Options) error {
+	o.Defaults()
+	o.Workers = append([]int(nil), o.Workers...)
+	sort.Ints(o.Workers)
+	fmt.Fprintf(o.Out, "Intra-source (frontier-parallel) scalability: single-source full-component Q13, shrink=%d, GOMAXPROCS=%d\n",
+		o.Shrink, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(o.Out, "%-6s %8s %16s %10s %12s\n", "SF", "workers", "traversal (s)", "speedup", "cancel (ms)")
+	var points []BfsParPoint
+	for _, sf := range o.SFs {
+		ds, err := ldbc.Generate(ldbc.Config{SF: sf, Shrink: o.Shrink, Seed: o.Seed})
+		if err != nil {
+			return err
+		}
+		base0, _, dict := BuildRuntimeGraph(ds)
+		// Extend the CSR with one isolated sink: a valid destination no
+		// source reaches, forcing full-component traversals.
+		g := &graph.CSR{
+			N:       base0.N + 1,
+			Offsets: append(base0.Offsets[:base0.N+1:base0.N+1], base0.Offsets[base0.N]),
+			Targets: base0.Targets,
+			Perm:    base0.Perm,
+		}
+		sink := graph.VertexID(base0.N)
+		srcIDs, _ := ds.RandomPairs(o.Pairs, o.Seed+uint64(sf))
+		srcs := make([]graph.VertexID, len(srcIDs))
+		dsts := make([]graph.VertexID, len(srcIDs))
+		for i := range srcIDs {
+			srcs[i] = dict.LookupInt(srcIDs[i])
+			dsts[i] = sink
+		}
+		spec := []graph.Spec{{Unit: true, UnitI: 1}}
+		var base float64
+		for wi, w := range o.Workers {
+			solver := graph.NewSolver(g)
+			solver.Parallelism = w
+			best := time.Duration(1 << 62)
+			for r := 0; r < parallelReps; r++ {
+				start := time.Now()
+				for i := range srcs {
+					// One pair per solve: one source group, so all
+					// parallelism is intra-source.
+					if _, err := solver.Solve(srcs[i:i+1], dsts[i:i+1], spec); err != nil {
+						return err
+					}
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+			}
+			p := BfsParPoint{
+				SF: sf, Shrink: o.Shrink, Workers: w,
+				TraversalSeconds: best.Seconds() / float64(len(srcs)),
+			}
+			if wi == 0 {
+				base = p.TraversalSeconds
+			}
+			if p.TraversalSeconds > 0 {
+				p.Speedup = base / p.TraversalSeconds
+			}
+			p.CancelMillis = measureCancelLatency(g, w, srcs[0], sink, p.TraversalSeconds)
+			points = append(points, p)
+			fmt.Fprintf(o.Out, "%-6d %8d %16.6f %10.3f %12.3f\n",
+				sf, w, p.TraversalSeconds, p.Speedup, p.CancelMillis)
+		}
+	}
+	if o.JSONOut != nil {
+		enc := json.NewEncoder(o.JSONOut)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(points); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measureCancelLatency cancels one single-source traversal roughly
+// halfway through and returns the delay between the cancel firing and
+// Solve returning, in milliseconds; 0 when the traversal won the race.
+func measureCancelLatency(g *graph.CSR, workers int, src, dst graph.VertexID, traversalSeconds float64) float64 {
+	delay := time.Duration(traversalSeconds * 0.5 * float64(time.Second))
+	if min := 50 * time.Microsecond; delay < min {
+		delay = min
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var canceledAt atomic.Int64
+	timer := time.AfterFunc(delay, func() {
+		canceledAt.Store(time.Now().UnixNano())
+		cancel()
+	})
+	defer timer.Stop()
+	solver := graph.NewSolver(g)
+	solver.Parallelism = workers
+	solver.Ctx = ctx
+	_, err := solver.Solve([]graph.VertexID{src}, []graph.VertexID{dst}, []graph.Spec{{Unit: true, UnitI: 1}})
+	done := time.Now().UnixNano()
+	if err == nil {
+		return 0 // finished before the cancel fired
+	}
+	return float64(done-canceledAt.Load()) / float64(time.Millisecond)
+}

@@ -22,9 +22,11 @@ import (
 type Context struct {
 	// Ctx carries optional cancellation (client disconnects, server
 	// timeouts). Operators fully materialize, so it is checked at the
-	// natural chunk boundaries: before every operator runs and at the
-	// solver's source-group boundaries inside GraphMatch. A nil Ctx
-	// never cancels.
+	// natural chunk boundaries — before every operator runs and at the
+	// solver's source-group boundaries inside GraphMatch — and inside a
+	// single traversal: BFS/Dijkstra poll every few thousand queue pops
+	// and the frontier-parallel BFS polls per level, so one huge
+	// traversal aborts mid-flight. A nil Ctx never cancels.
 	Ctx context.Context
 	// Expr holds the host parameter bindings.
 	Expr *expr.Context
@@ -33,6 +35,9 @@ type Context struct {
 	GraphIndexes map[string]*core.DynamicGraph
 	// Parallelism is the worker budget for graph construction and
 	// batched shortest-path solving; <= 0 means one worker per CPU.
+	// When a batch has fewer source groups than workers, the leftover
+	// budget parallelizes the BFS frontier within each traversal (see
+	// graph.Solver).
 	Parallelism int
 	// Stats collects optional instrumentation; may be nil.
 	Stats *Stats

@@ -63,16 +63,22 @@ type Solver struct {
 	n     int // total vertices (CSR + delta growth)
 	// Parallelism caps the number of solve workers; <= 0 means
 	// runtime.GOMAXPROCS(0). Small batches take a sequential fast path
-	// regardless.
+	// regardless. When the batch has fewer source groups than the
+	// budget, the leftover workers parallelize *within* each BFS
+	// traversal (frontier-parallel levels, see bfspar.go), so a
+	// single-source query on a huge graph is no longer pinned to one
+	// core.
 	Parallelism int
 	// Ctx carries optional cancellation (client disconnects, server
-	// timeouts). It is checked at the source-group boundary — the
-	// solver's unit of work — so a canceled batch stops draining
-	// remaining groups and Solve returns the context's error. A single
-	// in-flight traversal always runs to completion.
+	// timeouts). It is checked at the source-group boundary, inside
+	// sequential traversals every cancelCheckInterval pops, and at
+	// every level of a frontier-parallel BFS — so a canceled query
+	// aborts a single in-flight traversal within milliseconds rather
+	// than running it to completion.
 	Ctx context.Context
-	// forceParallel bypasses the sequential fast-path heuristic so
-	// tests can exercise the worker pool on tiny inputs.
+	// forceParallel bypasses the sequential fast-path heuristics (both
+	// across and within source groups) so tests can exercise the worker
+	// pool on tiny inputs.
 	forceParallel bool
 	// scratches pools per-worker traversal state across Solve calls;
 	// scratches[0] doubles as the sequential-path scratch.
@@ -190,6 +196,7 @@ func (s *Solver) Solve(srcs, dsts []VertexID, specs []Spec) (*Solution, error) {
 	}
 
 	workers := s.solveWorkers(len(groups))
+	intra := s.intraWorkers(len(groups), workers)
 	// Grow the scratch pool up front: workers index it concurrently.
 	for w := 0; w < workers; w++ {
 		s.scratch(w)
@@ -198,17 +205,29 @@ func (s *Solver) Solve(srcs, dsts []VertexID, specs []Spec) (*Solution, error) {
 	// groups drain as no-ops instead of starting new traversals.
 	var canceled atomic.Bool
 	runIndexed(workers, len(groups), func(worker, i int) {
-		if s.Ctx != nil && (canceled.Load() || s.Ctx.Err() != nil) {
+		if canceled.Load() || (s.Ctx != nil && s.Ctx.Err() != nil) {
 			canceled.Store(true)
 			return
 		}
 		group := order[groups[i].lo:groups[i].hi]
-		s.solveGroup(s.scratches[worker], srcs[group[0]], group, dsts, specs, sol)
+		if err := s.solveGroup(s.scratches[worker], srcs[group[0]], group, dsts, specs, sol, intra); err != nil {
+			canceled.Store(true)
+		}
 	})
 	if canceled.Load() {
 		return nil, s.Ctx.Err()
 	}
 	return sol, nil
+}
+
+// traversalWork estimates the cost of one full traversal: every vertex
+// plus every edge (snapshot and delta).
+func (s *Solver) traversalWork() int {
+	work := s.n + s.g.NumEdges()
+	if s.delta != nil {
+		work += s.delta.Edges
+	}
+	return work
 }
 
 // solveWorkers picks the worker count for a batch of source groups:
@@ -230,20 +249,45 @@ func (s *Solver) solveWorkers(groups int) int {
 	}
 	// Each group traverses up to the whole graph; below the threshold a
 	// single worker finishes before a pool would finish spinning up.
-	work := s.n + s.g.NumEdges()
-	if s.delta != nil {
-		work += s.delta.Edges
-	}
-	if groups*work < minParallelSolveWork {
+	if groups*s.traversalWork() < minParallelSolveWork {
 		return 1
 	}
 	return workers
 }
 
+// intraWorkers picks the frontier parallelism of each BFS traversal:
+// the share of the budget that source-group parallelism leaves idle.
+// A batch with at least as many groups as workers keeps traversals
+// sequential (the across-source partition already saturates the
+// budget); a single-source query on a large graph gets the whole
+// budget inside its one traversal.
+func (s *Solver) intraWorkers(groups, outer int) int {
+	if groups == 0 {
+		return 1
+	}
+	budget := resolveWorkers(s.Parallelism)
+	if budget <= groups {
+		return 1
+	}
+	if !s.forceParallel && s.traversalWork() < minParallelSolveWork {
+		return 1
+	}
+	// outer is groups when the across-source pool runs, 1 otherwise;
+	// divide by the larger so outer×intra never exceeds the budget.
+	div := groups
+	if outer > div {
+		div = outer
+	}
+	return budget / div
+}
+
 // solveGroup answers all pairs sharing one source vertex. It runs
 // concurrently for distinct groups, so it must write only through its
-// private scratch and the pair indices of its own group.
-func (s *Solver) solveGroup(sc *solverScratch, src VertexID, group []int, dsts []VertexID, specs []Spec, sol *Solution) {
+// private scratch and the pair indices of its own group. intra > 1
+// runs the BFS frontier-parallel over that many workers. A non-nil
+// error is always s.Ctx's error: the traversal was canceled mid-flight
+// and the group's outputs are partial garbage the caller must discard.
+func (s *Solver) solveGroup(sc *solverScratch, src VertexID, group []int, dsts []VertexID, specs []Spec, sol *Solution, intra int) error {
 	// Mark the distinct destinations of this group.
 	distinct := 0
 	for _, i := range group {
@@ -274,7 +318,15 @@ func (s *Solver) solveGroup(sc *solverScratch, src VertexID, group []int, dsts [
 		if sc.bfs == nil {
 			sc.bfs = newBFSState(s.n)
 		}
-		sc.bfs.runBFS(s.g, s.delta, src, sc.wanted, distinct)
+		var err error
+		if intra > 1 {
+			_, err = sc.bfs.runBFSParallel(s.g, s.delta, src, sc.wanted, distinct, intra, s.Ctx)
+		} else {
+			_, err = sc.bfs.runBFS(s.g, s.delta, src, sc.wanted, distinct, s.Ctx)
+		}
+		if err != nil {
+			return err
+		}
 		for _, i := range group {
 			sol.Reached[i] = sc.bfs.visited(dsts[i])
 		}
@@ -296,7 +348,7 @@ func (s *Solver) solveGroup(sc *solverScratch, src VertexID, group []int, dsts [
 					sol.CostI[k][i] = hops * spec.UnitI
 				}
 				if spec.NeedPath {
-					sol.Paths[k][i] = sc.bfs.pathTo(d)
+					sol.Paths[k][i], _ = sc.bfs.pathTo(d)
 				}
 			}
 		}
@@ -310,13 +362,17 @@ func (s *Solver) solveGroup(sc *solverScratch, src VertexID, group []int, dsts [
 		if sc.dij == nil {
 			sc.dij = newDijkstraState(s.n)
 		}
+		var err error
 		switch {
 		case spec.WeightsF != nil:
-			sc.dij.runFloat(s.g, s.delta, src, spec.WeightsF, sc.wanted, distinct)
+			_, err = sc.dij.runFloat(s.g, s.delta, src, spec.WeightsF, sc.wanted, distinct, s.Ctx)
 		case spec.ForceBinaryHeap:
-			sc.dij.runIntBinaryHeap(s.g, s.delta, src, spec.WeightsI, sc.wanted, distinct)
+			_, err = sc.dij.runIntBinaryHeap(s.g, s.delta, src, spec.WeightsI, sc.wanted, distinct, s.Ctx)
 		default:
-			sc.dij.runInt(s.g, s.delta, src, spec.WeightsI, sc.wanted, distinct)
+			_, err = sc.dij.runInt(s.g, s.delta, src, spec.WeightsI, sc.wanted, distinct, s.Ctx)
+		}
+		if err != nil {
+			return err
 		}
 		for _, i := range group {
 			d := dsts[i]
@@ -333,9 +389,10 @@ func (s *Solver) solveGroup(sc *solverScratch, src VertexID, group []int, dsts [
 				sol.CostI[k][i] = sc.dij.distI[d]
 			}
 			if spec.NeedPath {
-				sol.Paths[k][i] = sc.dij.pathTo(d)
+				sol.Paths[k][i], _ = sc.dij.pathTo(d)
 			}
 		}
 		reachedSet = true
 	}
+	return nil
 }

@@ -1,5 +1,7 @@
 package graph
 
+import "context"
+
 // bfsState holds per-vertex scratch reused across BFS runs. Instead of
 // clearing O(V) state between sources, entries carry an epoch stamp and
 // are considered unset unless the stamp matches the current run.
@@ -13,6 +15,9 @@ type bfsState struct {
 	epoch        []uint32
 	cur          uint32
 	queue        []VertexID
+	// par holds the frontier-parallel scratch (claim array, per-worker
+	// candidate buffers); nil until the first parallel run.
+	par *bfsParState
 }
 
 func newBFSState(n int) *bfsState {
@@ -49,8 +54,10 @@ func (s *bfsState) visit(v VertexID, dist int64, row int32, from VertexID) {
 // component is exhausted. wanted[v] must be true for destinations of
 // interest; wantLeft is their count. delta (optional) supplies edges
 // appended after the CSR snapshot. It returns the number of wanted
-// vertices actually reached.
-func (s *bfsState) runBFS(g *CSR, delta *Delta, src VertexID, wanted []bool, wantLeft int) int {
+// vertices actually reached. ctx (optional) is polled every
+// cancelCheckInterval dequeues so one huge traversal aborts mid-flight
+// rather than running to completion.
+func (s *bfsState) runBFS(g *CSR, delta *Delta, src VertexID, wanted []bool, wantLeft int, ctx context.Context) (int, error) {
 	s.reset()
 	s.visit(src, 0, -1, NoVertex)
 	reached := 0
@@ -58,11 +65,16 @@ func (s *bfsState) runBFS(g *CSR, delta *Delta, src VertexID, wanted []bool, wan
 		reached++
 		wantLeft--
 		if wantLeft == 0 {
-			return reached
+			return reached, nil
 		}
 	}
 	s.queue = append(s.queue, src)
 	for head := 0; head < len(s.queue); head++ {
+		if ctx != nil && head&(cancelCheckInterval-1) == cancelCheckInterval-1 {
+			if err := ctx.Err(); err != nil {
+				return reached, err
+			}
+		}
 		u := s.queue[head]
 		du := s.dist[u]
 		relax := func(v VertexID, row int32) bool {
@@ -84,27 +96,34 @@ func (s *bfsState) runBFS(g *CSR, delta *Delta, src VertexID, wanted []bool, wan
 			lo, hi := g.edgeRange(u)
 			for p := lo; p < hi; p++ {
 				if relax(g.Targets[p], g.Perm[p]) {
-					return reached
+					return reached, nil
 				}
 			}
 		}
 		if delta != nil {
 			for _, de := range delta.Adj[u] {
 				if relax(de.To, de.Row) {
-					return reached
+					return reached, nil
 				}
 			}
 		}
 	}
-	return reached
+	return reached, nil
 }
 
 // pathTo reconstructs the path to v as originating edge-table rows, in
-// traversal order. It returns nil when v is the source (empty path).
-func (s *bfsState) pathTo(v VertexID) []int32 {
+// traversal order. The second return value reports whether v was
+// reached by the current run: the scratch arrays carry stale values
+// from earlier epochs, so reading dist/parentRow of an unvisited vertex
+// would yield a garbage path. Callers must treat (nil, false) as
+// unreachable; (nil, true) is the empty path at the source.
+func (s *bfsState) pathTo(v VertexID) ([]int32, bool) {
+	if !s.visited(v) {
+		return nil, false
+	}
 	hops := s.dist[v]
 	if hops == 0 {
-		return nil
+		return nil, true
 	}
 	out := make([]int32, hops)
 	i := hops - 1
@@ -113,5 +132,5 @@ func (s *bfsState) pathTo(v VertexID) []int32 {
 		i--
 		v = s.parentVertex[v]
 	}
-	return out
+	return out, true
 }

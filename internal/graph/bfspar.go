@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"context"
+	"sync/atomic"
+
+	"graphsql/internal/par"
+)
+
+// Frontier-parallel (level-synchronous) BFS. The batched solver
+// parallelizes *across* sources, which leaves a single-source query on
+// a huge graph running one sequential traversal on one core. This file
+// covers that case: within one traversal, each BFS level partitions the
+// current frontier over the intra-source worker budget, workers relax
+// their chunks into private candidate buffers, and a sequential merge
+// reassembles the next frontier. The structure is the level-synchronous
+// product construction of the regular-path-query literature (see
+// PAPERS.md), restricted to plain BFS, and is direction-optimizing
+// ready: a level is an explicit vertex set, so a future bottom-up pass
+// can swap in per level without changing the merge contract.
+//
+// Determinism contract: the result is bit-identical to the sequential
+// queue BFS — same visited set, same dist, same parent edge per vertex,
+// same queue order, same early-exit point. Sequential BFS discovers a
+// vertex through the first edge in (frontier position, edge scan order)
+// that reaches it; the parallel phase reproduces that winner exactly:
+//
+//  1. Claim phase (parallel): workers scan disjoint ascending frontier
+//     ranges. Every edge to a not-yet-visited vertex carries a priority
+//     key — frontier position in the high bits, the edge's scan ordinal
+//     within its frontier vertex in the low bits — and claims the
+//     target by an atomic compare-and-swap min-reduction on claim[v].
+//     A worker that lowers claim[v] records a candidate; keys within a
+//     worker increase monotonically, so each worker records a vertex at
+//     most once and its buffer stays sorted by key.
+//  2. Merge phase (sequential): buffers are drained in worker order —
+//     ascending frontier ranges, so ascending key order globally. A
+//     candidate whose key still matches claim[v] is the global minimum,
+//     i.e. exactly the edge sequential BFS would have used; it is
+//     visited, appended to the queue, and its claim slot is reset so
+//     the array is all-free again for the next level (no O(V) clear).
+//
+// Losing candidates find claim[v] either reset (winner merged earlier)
+// or holding a smaller key, and are skipped. Early exit mid-merge stops
+// at the same discovery sequential BFS stops at; the remaining buffers
+// are only drained to restore the claim-free invariant.
+const (
+	// minParallelFrontierVar is the default for minParallelFrontier.
+	minParallelFrontierDefault = 1 << 10
+)
+
+// minParallelFrontier gates per-level parallelism: levels smaller than
+// this are expanded on the calling goroutine (the sequential fast path
+// of the level loop). A variable so tests can force the parallel path
+// on small graphs.
+var minParallelFrontier = minParallelFrontierDefault
+
+// claimFree marks an unclaimed slot; every real key is smaller (keys
+// use at most 63 bits: 31 for the frontier position, 32 for the scan
+// ordinal).
+const claimFree = ^uint64(0)
+
+// bfsParState is the frontier-parallel scratch of one bfsState: the
+// per-vertex claim array and the per-worker candidate buffers.
+type bfsParState struct {
+	// claim holds the minimum priority key claimed for each vertex this
+	// level, claimFree outside the claim/merge window. Accessed with
+	// sync/atomic during the claim phase.
+	claim []uint64
+	bufs  [][]bfsCandidate
+}
+
+// bfsCandidate is one recorded discovery: the target vertex, the edge
+// row that discovered it, and its priority key (frontier position <<
+// 32 | scan ordinal). The parent vertex is recovered from the key.
+type bfsCandidate struct {
+	key uint64
+	v   VertexID
+	row int32
+}
+
+func (s *bfsState) parState(workers int) *bfsParState {
+	if s.par == nil {
+		ps := &bfsParState{claim: make([]uint64, len(s.epoch))}
+		for i := range ps.claim {
+			ps.claim[i] = claimFree
+		}
+		s.par = ps
+	}
+	for len(s.par.bufs) < workers {
+		s.par.bufs = append(s.par.bufs, nil)
+	}
+	return s.par
+}
+
+// runBFSParallel is runBFS with level-synchronous intra-source
+// parallelism over up to `workers` workers. Results are bit-identical
+// to runBFS (see the determinism contract above). ctx is polled once
+// per level, so cancellation aborts within one frontier level.
+func (s *bfsState) runBFSParallel(g *CSR, delta *Delta, src VertexID, wanted []bool, wantLeft, workers int, ctx context.Context) (int, error) {
+	s.reset()
+	s.visit(src, 0, -1, NoVertex)
+	reached := 0
+	if wanted[src] {
+		reached++
+		wantLeft--
+		if wantLeft == 0 {
+			return reached, nil
+		}
+	}
+	s.queue = append(s.queue, src)
+	ps := s.parState(workers)
+
+	levelLo := 0
+	for level := int64(1); levelLo < len(s.queue); level++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return reached, err
+			}
+		}
+		levelHi := len(s.queue)
+		frontier := s.queue[levelLo:levelHi]
+		levelLo = levelHi
+
+		if len(frontier) < minParallelFrontier || workers <= 1 {
+			// Small level: expand on the calling goroutine. This IS the
+			// sequential queue BFS restricted to one level, so the
+			// determinism contract holds trivially.
+			for fp := range frontier {
+				u := frontier[fp]
+				stop := false
+				relax := func(v VertexID, row int32) {
+					if s.visited(v) {
+						return
+					}
+					s.visit(v, level, row, u)
+					if wanted[v] {
+						reached++
+						wantLeft--
+						if wantLeft == 0 {
+							stop = true
+							return
+						}
+					}
+					s.queue = append(s.queue, v)
+				}
+				if int(u) < g.N {
+					lo, hi := g.edgeRange(u)
+					for p := lo; p < hi && !stop; p++ {
+						relax(g.Targets[p], g.Perm[p])
+					}
+				}
+				if delta != nil && !stop {
+					for _, de := range delta.Adj[u] {
+						relax(de.To, de.Row)
+						if stop {
+							break
+						}
+					}
+				}
+				if stop {
+					return reached, nil
+				}
+			}
+			continue
+		}
+
+		// Claim phase: workers scan disjoint ascending frontier ranges.
+		// epoch is read-only during this phase (writes happen only in
+		// the merge below, ordered by the fork/join of par.Ranges), so
+		// the plain visited() read is race-free; claim goes through
+		// sync/atomic.
+		nr := par.NumRanges(workers, len(frontier))
+		par.Ranges(workers, len(frontier), func(worker, lo, hi int) {
+			buf := ps.bufs[worker][:0]
+			for fp := lo; fp < hi; fp++ {
+				u := frontier[fp]
+				ordinal := uint64(0)
+				relax := func(v VertexID, row int32) {
+					if s.visited(v) {
+						ordinal++
+						return
+					}
+					key := uint64(fp)<<32 | ordinal
+					ordinal++
+					have := atomic.LoadUint64(&ps.claim[v])
+					for key < have {
+						if atomic.CompareAndSwapUint64(&ps.claim[v], have, key) {
+							buf = append(buf, bfsCandidate{key: key, v: v, row: row})
+							break
+						}
+						have = atomic.LoadUint64(&ps.claim[v])
+					}
+				}
+				if int(u) < g.N {
+					lo, hi := g.edgeRange(u)
+					for p := lo; p < hi; p++ {
+						relax(g.Targets[p], g.Perm[p])
+					}
+				}
+				if delta != nil {
+					for _, de := range delta.Adj[u] {
+						relax(de.To, de.Row)
+					}
+				}
+			}
+			ps.bufs[worker] = buf
+		})
+
+		// Merge phase: drain buffers in worker order == ascending key
+		// order. Winners (key still in claim[v]) are exactly the edges
+		// sequential BFS would discover each vertex through, in the
+		// order it would discover them.
+		for w := 0; w < nr; w++ {
+			for ci, c := range ps.bufs[w] {
+				if atomic.LoadUint64(&ps.claim[c.v]) != c.key {
+					continue // lost to a smaller key; winner already merged
+				}
+				atomic.StoreUint64(&ps.claim[c.v], claimFree)
+				s.visit(c.v, level, c.row, frontier[c.key>>32])
+				if wanted[c.v] {
+					reached++
+					wantLeft--
+					if wantLeft == 0 {
+						ps.resetClaims(w, ci+1, nr)
+						return reached, nil
+					}
+				}
+				s.queue = append(s.queue, c.v)
+			}
+		}
+	}
+	return reached, nil
+}
+
+// resetClaims restores the claim-free invariant for candidates not yet
+// merged when the level loop exits early (all wanted vertices settled
+// mid-merge). Re-freeing an already-freed slot is harmless.
+func (ps *bfsParState) resetClaims(fromBuf, fromIdx, nr int) {
+	for w := fromBuf; w < nr; w++ {
+		start := 0
+		if w == fromBuf {
+			start = fromIdx
+		}
+		for _, c := range ps.bufs[w][start:] {
+			atomic.StoreUint64(&ps.claim[c.v], claimFree)
+		}
+	}
+}

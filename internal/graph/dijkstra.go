@@ -1,6 +1,9 @@
 package graph
 
-import "container/heap"
+import (
+	"container/heap"
+	"context"
+)
 
 // dijkstraState is the shared per-vertex scratch for both Dijkstra
 // variants (radix queue for integer weights, binary heap for float
@@ -56,16 +59,24 @@ func (s *dijkstraState) touch(v VertexID) {
 // weights is in edge-table row order. delta (optional) supplies edges
 // appended after the CSR snapshot. It settles vertices until all
 // wanted destinations are settled or the queue empties, returning the
-// number of wanted vertices reached.
-func (s *dijkstraState) runInt(g *CSR, delta *Delta, src VertexID, weights []int64, wanted []bool, wantLeft int) int {
+// number of wanted vertices reached. ctx (optional) is polled every
+// cancelCheckInterval pops so one huge traversal aborts mid-flight.
+func (s *dijkstraState) runInt(g *CSR, delta *Delta, src VertexID, weights []int64, wanted []bool, wantLeft int, ctx context.Context) (int, error) {
 	s.reset()
 	s.touch(src)
 	s.distI[src] = 0
 	s.parentRow[src] = -1
 	s.parentVertex[src] = NoVertex
 	s.rq.push(0, src)
-	reached := 0
+	reached, pops := 0, 0
 	for s.rq.len() > 0 {
+		if ctx != nil {
+			if pops++; pops&(cancelCheckInterval-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return reached, err
+				}
+			}
+		}
 		_, u := s.rq.popMin()
 		if s.settled[u] {
 			continue // stale duplicate entry (lazy deletion)
@@ -75,7 +86,7 @@ func (s *dijkstraState) runInt(g *CSR, delta *Delta, src VertexID, weights []int
 			reached++
 			wantLeft--
 			if wantLeft == 0 {
-				return reached
+				return reached, nil
 			}
 		}
 		du := s.distI[u]
@@ -106,19 +117,26 @@ func (s *dijkstraState) runInt(g *CSR, delta *Delta, src VertexID, weights []int
 			}
 		}
 	}
-	return reached
+	return reached, nil
 }
 
 // runFloat runs Dijkstra with a binary heap over float weights.
-func (s *dijkstraState) runFloat(g *CSR, delta *Delta, src VertexID, weights []float64, wanted []bool, wantLeft int) int {
+func (s *dijkstraState) runFloat(g *CSR, delta *Delta, src VertexID, weights []float64, wanted []bool, wantLeft int, ctx context.Context) (int, error) {
 	s.reset()
 	s.touch(src)
 	s.distF[src] = 0
 	s.parentRow[src] = -1
 	s.parentVertex[src] = NoVertex
 	heap.Push(&s.bq, floatItem{0, src})
-	reached := 0
+	reached, pops := 0, 0
 	for s.bq.Len() > 0 {
+		if ctx != nil {
+			if pops++; pops&(cancelCheckInterval-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return reached, err
+				}
+			}
+		}
 		it := heap.Pop(&s.bq).(floatItem)
 		u := it.v
 		if s.settled[u] {
@@ -129,7 +147,7 @@ func (s *dijkstraState) runFloat(g *CSR, delta *Delta, src VertexID, weights []f
 			reached++
 			wantLeft--
 			if wantLeft == 0 {
-				return reached
+				return reached, nil
 			}
 		}
 		du := s.distF[u]
@@ -160,11 +178,17 @@ func (s *dijkstraState) runFloat(g *CSR, delta *Delta, src VertexID, weights []f
 			}
 		}
 	}
-	return reached
+	return reached, nil
 }
 
-// pathTo reconstructs the shortest path to v as edge-table rows.
-func (s *dijkstraState) pathTo(v VertexID) []int32 {
+// pathTo reconstructs the shortest path to v as edge-table rows. The
+// second return value reports whether v was settled by the current run;
+// the scratch arrays carry stale values from earlier epochs, so the
+// parent chain of an unsettled vertex is garbage.
+func (s *dijkstraState) pathTo(v VertexID) ([]int32, bool) {
+	if !s.seen(v) || !s.settled[v] {
+		return nil, false
+	}
 	var rev []int32
 	for s.parentRow[v] >= 0 {
 		rev = append(rev, s.parentRow[v])
@@ -174,7 +198,7 @@ func (s *dijkstraState) pathTo(v VertexID) []int32 {
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
-	return rev
+	return rev, true
 }
 
 // ownerOf returns the source vertex owning CSR position p; used by
@@ -236,7 +260,7 @@ func (q *intQueue) Pop() interface{} {
 
 // runIntBinaryHeap is runInt with a binary heap instead of the radix
 // queue (ablation E5).
-func (s *dijkstraState) runIntBinaryHeap(g *CSR, delta *Delta, src VertexID, weights []int64, wanted []bool, wantLeft int) int {
+func (s *dijkstraState) runIntBinaryHeap(g *CSR, delta *Delta, src VertexID, weights []int64, wanted []bool, wantLeft int, ctx context.Context) (int, error) {
 	s.reset()
 	s.touch(src)
 	s.distI[src] = 0
@@ -244,8 +268,15 @@ func (s *dijkstraState) runIntBinaryHeap(g *CSR, delta *Delta, src VertexID, wei
 	s.parentVertex[src] = NoVertex
 	var bq intQueue
 	heap.Push(&bq, intItem{0, src})
-	reached := 0
+	reached, pops := 0, 0
 	for bq.Len() > 0 {
+		if ctx != nil {
+			if pops++; pops&(cancelCheckInterval-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return reached, err
+				}
+			}
+		}
 		it := heap.Pop(&bq).(intItem)
 		u := it.v
 		if s.settled[u] {
@@ -256,7 +287,7 @@ func (s *dijkstraState) runIntBinaryHeap(g *CSR, delta *Delta, src VertexID, wei
 			reached++
 			wantLeft--
 			if wantLeft == 0 {
-				return reached
+				return reached, nil
 			}
 		}
 		du := s.distI[u]
@@ -287,5 +318,5 @@ func (s *dijkstraState) runIntBinaryHeap(g *CSR, delta *Delta, src VertexID, wei
 			}
 		}
 	}
-	return reached
+	return reached, nil
 }

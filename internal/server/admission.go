@@ -105,8 +105,17 @@ func (a *Admission) clampLocked(want int) int {
 // Acquire admits a query requesting `want` workers (<= 0 asks for the
 // fair share). It returns ErrQueueFull when both the in-flight and
 // queue limits are saturated, or ctx's error if the caller gives up
-// while queued.
+// while queued. A canceled request never consumes an in-flight slot or
+// a worker grant: an already-dead context is rejected up front, a
+// waiter canceled in the queue is unlinked before it can be granted,
+// and a grant racing the cancellation is handed straight back.
 func (a *Admission) Acquire(ctx context.Context, want int) (*Grant, error) {
+	if err := ctx.Err(); err != nil {
+		a.mu.Lock()
+		a.canceled++
+		a.mu.Unlock()
+		return nil, err
+	}
 	a.mu.Lock()
 	if a.inFlight < a.maxInFlight {
 		a.inFlight++
@@ -139,6 +148,7 @@ func (a *Admission) Acquire(ctx context.Context, want int) (*Grant, error) {
 				return nil, ctx.Err()
 			}
 		}
+		a.canceled++
 		a.mu.Unlock()
 		// Already granted between Done and the lock: hand the grant
 		// back before reporting cancellation.

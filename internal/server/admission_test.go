@@ -91,6 +91,122 @@ func TestAdmissionQueuedCancel(t *testing.T) {
 	}
 }
 
+// TestAdmissionQueuedCancelSlotAccounting is the regression test for
+// cancellation while waiting in the FIFO queue: with the queue full, a
+// canceled waiter must leave without ever consuming a worker grant or
+// an in-flight slot — the remaining waiters keep their FIFO positions
+// and the books balance exactly once everything drains.
+func TestAdmissionQueuedCancelSlotAccounting(t *testing.T) {
+	a := NewAdmission(1, 3, 4, 4)
+	holder, err := a.Acquire(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := a.Snapshot(); snap.WorkersFree != 0 {
+		t.Fatalf("holder did not take the budget: %+v", snap)
+	}
+
+	// Fill the queue: three waiters, the middle one cancelable.
+	type result struct {
+		id    int
+		grant *Grant
+		err   error
+	}
+	results := make(chan result, 3)
+	ctxs := make([]context.Context, 3)
+	cancels := make([]context.CancelFunc, 3)
+	for i := range ctxs {
+		ctxs[i], cancels[i] = context.WithCancel(context.Background())
+		defer cancels[i]()
+	}
+	for i := 0; i < 3; i++ {
+		// Enqueue one at a time so FIFO positions are deterministic.
+		go func(i int) {
+			g, err := a.Acquire(ctxs[i], 1)
+			results <- result{i, g, err}
+		}(i)
+		waitFor(t, func() bool { return a.Snapshot().Queued == i+1 })
+	}
+	if _, err := a.Acquire(context.Background(), 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("queue should be full, got %v", err)
+	}
+
+	// Cancel the middle waiter: it must leave the queue with ctx's
+	// error, consuming nothing.
+	cancels[1]()
+	r := <-results
+	if r.id != 1 || !errors.Is(r.err, context.Canceled) || r.grant != nil {
+		t.Fatalf("canceled waiter: %+v", r)
+	}
+	snap := a.Snapshot()
+	if snap.Queued != 2 || snap.Abandoned != 1 || snap.InFlight != 1 || snap.WorkersFree != 0 {
+		t.Fatalf("after queued cancel: %+v", snap)
+	}
+
+	// Drain FIFO: waiter 0 then waiter 2, each inheriting the slot.
+	holder.Release()
+	for _, wantID := range []int{0, 2} {
+		r := <-results
+		if r.err != nil || r.id != wantID {
+			t.Fatalf("expected waiter %d admitted next, got %+v", wantID, r)
+		}
+		if snap := a.Snapshot(); snap.InFlight != 1 {
+			t.Fatalf("slot accounting after admit: %+v", snap)
+		}
+		r.grant.Release()
+	}
+	if snap := a.Snapshot(); snap.InFlight != 0 || snap.Queued != 0 || snap.WorkersFree != 4 {
+		t.Fatalf("final accounting: %+v", snap)
+	}
+}
+
+// TestAdmissionCancelGrantRace drives the cancel-vs-grant race: a
+// waiter whose context dies concurrently with the holder's Release must
+// either get the grant or hand it straight back — never leak the slot.
+func TestAdmissionCancelGrantRace(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		a := NewAdmission(1, 1, 2, 2)
+		holder, err := a.Acquire(context.Background(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		var g *Grant
+		go func() {
+			defer close(done)
+			g, _ = a.Acquire(ctx, 1)
+		}()
+		waitFor(t, func() bool { return a.Snapshot().Queued == 1 })
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); cancel() }()
+		go func() { defer wg.Done(); holder.Release() }()
+		wg.Wait()
+		<-done
+		if g != nil {
+			g.Release()
+		}
+		if snap := a.Snapshot(); snap.InFlight != 0 || snap.Queued != 0 || snap.WorkersFree != 2 {
+			t.Fatalf("trial %d leaked a slot: %+v", trial, snap)
+		}
+	}
+}
+
+// TestAdmissionDeadContextRejected checks a request whose context is
+// already canceled never consumes anything, even with capacity free.
+func TestAdmissionDeadContextRejected(t *testing.T) {
+	a := NewAdmission(2, 2, 4, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Acquire(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if snap := a.Snapshot(); snap.InFlight != 0 || snap.WorkersFree != 4 || snap.Abandoned != 1 {
+		t.Fatalf("dead-context request consumed capacity: %+v", snap)
+	}
+}
+
 func TestAdmissionWorkerStarvationAvoided(t *testing.T) {
 	// A batch query grabbing the whole budget still leaves point
 	// lookups admitted with >= 1 worker.

@@ -20,6 +20,15 @@
 // per-query worker cap, QueueDepth more wait FIFO, and anything beyond
 // that is rejected immediately with queue_full so overload degrades
 // predictably instead of collapsing.
+//
+// Cancellation: a client disconnect (or timeout) cancels the request
+// context, which aborts the query at the nearest operator boundary,
+// source-group boundary, or in-traversal poll — single traversals are
+// abandoned within one BFS frontier level or a few thousand Dijkstra
+// pops, so a disconnected client frees its worker grant within
+// milliseconds rather than pinning it until the traversal finishes.
+// A request canceled while waiting in the admission queue leaves the
+// queue without ever consuming an in-flight slot or a worker grant.
 package server
 
 import (
