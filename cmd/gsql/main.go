@@ -9,6 +9,12 @@
 // Meta commands: \d lists tables, \explain SELECT ... prints the plan,
 // \q quits.
 //
+// Output modes: -json emits each statement's result as one buffered
+// wire object (the gsqld /query response encoding); -stream emits the
+// chunked NDJSON frame sequence (the gsqld streaming encoding), with
+// rows converted and written batch by batch through the engine's
+// row-batch cursor, so huge results never exist row-major in memory.
+//
 // Queries run with the engine's full worker budget: batched REACHES
 // queries parallelize across source groups, and single-source queries
 // over large graphs parallelize within the traversal (frontier-
@@ -19,18 +25,21 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"graphsql"
+	"graphsql/internal/sql/lexer"
 	"graphsql/internal/wire"
 )
 
 func main() {
 	file := flag.String("f", "", "run a SQL script instead of the REPL")
 	jsonOut := flag.Bool("json", false, "emit results as wire JSON (the gsqld response encoding), one object per statement")
+	streamOut := flag.Bool("stream", false, "emit results as chunked NDJSON frames (the gsqld streaming encoding), one stream per statement; rows are converted batch by batch instead of materializing the whole result row-major")
 	flag.Parse()
 
 	db := graphsql.Open()
@@ -39,6 +48,17 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *streamOut {
+			// The lexer-driven splitter sees quoting and comments exactly
+			// as the parser will, so script statements stream one at a
+			// time without a second scanner to drift out of sync.
+			for _, stmt := range lexer.SplitStatements(string(data)) {
+				if !streamStatement(db, stmt) {
+					os.Exit(1)
+				}
+			}
+			return
 		}
 		res, err := db.ExecScript(string(data))
 		if *jsonOut {
@@ -83,6 +103,15 @@ func main() {
 		if strings.HasSuffix(trimmed, ";") {
 			sql := buf.String()
 			buf.Reset()
+			if *streamOut {
+				// The buffer may hold several ';'-separated statements;
+				// stream each one, exactly like the -f script path.
+				for _, stmt := range lexer.SplitStatements(sql) {
+					streamStatement(db, stmt)
+				}
+				prompt()
+				continue
+			}
 			res, err := db.ExecScript(sql)
 			switch {
 			case *jsonOut:
@@ -98,6 +127,47 @@ func main() {
 		}
 		prompt()
 	}
+}
+
+// streamStatement runs one statement through the row-batch cursor and
+// emits it in the chunked wire encoding (identical to a gsqld
+// streaming /query response body); it reports success. Errors before
+// the header use the buffered error object, exactly like gsqld.
+func streamStatement(db *graphsql.DB, sql string) bool {
+	rows, err := db.QueryRowsCtx(context.Background(), sql)
+	if err != nil {
+		data, encErr := wire.FromError(wire.CodeSQL, err).Encode()
+		if encErr != nil {
+			fmt.Fprintln(os.Stderr, encErr)
+			return false
+		}
+		fmt.Println(string(data))
+		return false
+	}
+	sw := wire.NewStreamWriter(os.Stdout)
+	if err := sw.Header(rows.Columns); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return false
+	}
+	for {
+		b, err := rows.NextBatch(wire.DefaultBatchRows)
+		if err != nil {
+			sw.Fail(wire.CodeCanceled, err)
+			return false
+		}
+		if b == nil {
+			break
+		}
+		if err := sw.Batch(b); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+	}
+	if err := sw.Trailer(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return false
+	}
+	return true
 }
 
 // printWire renders one statement outcome in the shared wire encoding

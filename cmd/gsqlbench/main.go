@@ -1,0 +1,384 @@
+// Command gsqlbench is a self-contained load generator and smoke
+// checker for a running gsqld: it loads the differential corpus into a
+// graph, measures cached-vs-uncached replay throughput, hammers the
+// server with concurrent clients running a mix of repeated (cache-
+// hitting) and unique (cache-missing) queries, disconnects one client
+// mid-flight, and finally scrapes GET /metrics to assert the server
+// behaved: cache hits happened, the abandoned query was observed, and
+// not a single 5xx was returned.
+//
+//	$ gsqld -addr 127.0.0.1:8726 &
+//	$ gsqlbench -addr 127.0.0.1:8726 -clients 8 -rounds 4
+//
+// Exit status 0 means every assertion held; 1 means the report shows
+// which one failed. The CI `load` job gates on it.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"graphsql/internal/testutil"
+	"graphsql/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8765", "gsqld address (host:port)")
+	graph := flag.String("graph", "bench", "graph name to load and query")
+	clients := flag.Int("clients", 8, "concurrent clients in the load phase")
+	rounds := flag.Int("rounds", 4, "corpus replays per client")
+	replays := flag.Int("replays", 3, "cached replays in the speedup measurement")
+	minSpeedup := flag.Float64("min-speedup", 1.5, "required cached-vs-uncached replay speedup")
+	disconnect := flag.Bool("disconnect", true, "disconnect one client mid-query")
+	flag.Parse()
+
+	base := *addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	b := &bench{base: base, graph: *graph}
+
+	if err := b.waitHealthy(30 * time.Second); err != nil {
+		fatal("server not healthy: %v", err)
+	}
+	if err := b.loadCorpus(); err != nil {
+		fatal("load: %v", err)
+	}
+
+	speedup, cold, warm, err := b.measureCacheSpeedup(*replays)
+	if err != nil {
+		fatal("speedup measurement: %v", err)
+	}
+	fmt.Printf("corpus replay: uncached %v, cached avg %v -> speedup %.1fx\n", cold, warm, speedup)
+
+	if err := b.concurrentLoad(*clients, *rounds); err != nil {
+		fatal("load phase: %v", err)
+	}
+	fmt.Printf("load phase: %d clients x %d rounds, %d requests, 5xx: %d\n",
+		*clients, *rounds, b.requests.n(), b.server5xx.n())
+
+	if *disconnect {
+		if err := b.disconnectMidFlight(); err != nil {
+			fatal("disconnect phase: %v", err)
+		}
+		fmt.Println("disconnect phase: mid-flight abandon observed by the server")
+	}
+
+	mf, err := b.scrapeMetrics()
+	if err != nil {
+		fatal("metrics scrape: %v", err)
+	}
+
+	failed := false
+	check := func(ok bool, format string, args ...any) {
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %s\n", status, fmt.Sprintf(format, args...))
+	}
+	check(speedup >= *minSpeedup, "cached replay speedup %.1fx >= %.1fx", speedup, *minSpeedup)
+	check(mf.value("gsqld_cache_hits_total") > 0, "gsqld_cache_hits_total = %g > 0", mf.value("gsqld_cache_hits_total"))
+	check(mf.value("gsqld_queries_abandoned_total") >= 1 || !*disconnect,
+		"gsqld_queries_abandoned_total = %g >= 1", mf.value("gsqld_queries_abandoned_total"))
+	check(b.server5xx.n() == 0, "client-observed 5xx responses = %d", b.server5xx.n())
+	check(mf.responses5xx() == 0, "server-reported 5xx responses = %g", mf.responses5xx())
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gsqlbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// counter is a tiny thread-safe counter.
+type counter struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (c *counter) add() { c.mu.Lock(); c.v++; c.mu.Unlock() }
+func (c *counter) n() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+type bench struct {
+	base  string
+	graph string
+
+	requests  counter
+	server5xx counter
+}
+
+func (b *bench) waitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(b.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("healthz keeps failing")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func (b *bench) loadCorpus() error {
+	payload, _ := json.Marshal(&wire.LoadRequest{Script: testutil.SetupScript()})
+	resp, err := http.Post(b.base+"/graphs/"+b.graph+"/load", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return nil
+}
+
+// query posts one statement and returns the HTTP status; the body is
+// drained and discarded. Request errors return status 0.
+func (b *bench) query(ctx context.Context, req *wire.QueryRequest) (int, error) {
+	req.Graph = b.graph
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/query", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	b.requests.add()
+	if resp.StatusCode >= 500 {
+		b.server5xx.add()
+	}
+	return resp.StatusCode, nil
+}
+
+// measureCacheSpeedup replays the corpus once cold (every SELECT a
+// cache miss) and `replays` times warm, returning cold / avg(warm).
+// The corpus must not have been queried on this graph before.
+func (b *bench) measureCacheSpeedup(replays int) (speedup float64, cold, warmAvg time.Duration, err error) {
+	queries := testutil.Queries()
+	replay := func() (time.Duration, error) {
+		start := time.Now()
+		for _, q := range queries {
+			status, err := b.query(context.Background(), &wire.QueryRequest{SQL: q})
+			if err != nil {
+				return 0, err
+			}
+			if status != http.StatusOK {
+				return 0, fmt.Errorf("query status %d: %s", status, q)
+			}
+		}
+		return time.Since(start), nil
+	}
+	cold, err = replay()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var warmTotal time.Duration
+	for i := 0; i < replays; i++ {
+		w, err := replay()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		warmTotal += w
+	}
+	warmAvg = warmTotal / time.Duration(replays)
+	if warmAvg <= 0 {
+		warmAvg = time.Nanosecond
+	}
+	return float64(cold) / float64(warmAvg), cold, warmAvg, nil
+}
+
+// concurrentLoad runs the mixed corpus: every client interleaves
+// repeated corpus queries (cache hits after the first round) with
+// unique parameterized lookups (cache misses), half of them through a
+// session so prepared plans engage, plus streamed replays.
+func (b *bench) concurrentLoad(clients, rounds int) error {
+	queries := testutil.Queries()
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			session := ""
+			if c%2 == 0 {
+				session = fmt.Sprintf("bench-%d", c)
+			}
+			for r := 0; r < rounds; r++ {
+				for i, q := range queries {
+					req := &wire.QueryRequest{SQL: q, Session: session}
+					if (i+r)%5 == 0 {
+						req.Stream = true
+					}
+					status, err := b.query(context.Background(), req)
+					if err != nil {
+						errs <- fmt.Errorf("client %d: %w", c, err)
+						return
+					}
+					if status != http.StatusOK {
+						errs <- fmt.Errorf("client %d: status %d on %s", c, status, q)
+						return
+					}
+					// A unique point lookup: distinct args -> cache miss.
+					status, err = b.query(context.Background(), &wire.QueryRequest{
+						SQL:     `SELECT COUNT(*) FROM knows WHERE src >= ? AND dst >= ?`,
+						Args:    []any{c*1000 + r*100 + i, i},
+						Session: session,
+					})
+					if err != nil {
+						errs <- fmt.Errorf("client %d: %w", c, err)
+						return
+					}
+					if status != http.StatusOK {
+						errs <- fmt.Errorf("client %d: unique lookup status %d", c, status)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+// disconnectMidFlight issues the corpus's heaviest query and cancels
+// the request partway through, retrying until the server's abandoned
+// counter moves (the query may finish before the cancel on a fast
+// host, so the delay shrinks every attempt).
+func (b *bench) disconnectMidFlight() error {
+	// The ? keeps every attempt's cache key distinct — a repeated
+	// statement would be served from the result cache instantly and
+	// could never be caught mid-flight.
+	const heavy = `SELECT p1.id, p2.id, CHEAPEST SUM(1) FROM people p1, people p2
+	               WHERE p1.id >= ? AND p1.id REACHES p2.id OVER knows EDGE (src, dst)`
+	// Reference timing for the cancel delay.
+	start := time.Now()
+	if status, err := b.query(context.Background(), &wire.QueryRequest{SQL: heavy, Args: []any{-1}}); err != nil || status != http.StatusOK {
+		return fmt.Errorf("reference heavy query: status %d err %v", status, err)
+	}
+	full := time.Since(start)
+
+	delay := full / 4
+	for attempt := 0; attempt < 8; attempt++ {
+		before, err := b.abandoned()
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), delay)
+		status, _ := b.query(ctx, &wire.QueryRequest{SQL: heavy, Args: []any{attempt}})
+		cancel()
+		if status == 0 { // request aborted client-side: the disconnect happened
+			// Give the server a moment to observe it and free the slot.
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) {
+				after, err := b.abandoned()
+				if err != nil {
+					return err
+				}
+				if after > before {
+					return nil
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+		// Finished before the deadline; try again with a shorter leash.
+		delay /= 2
+		if delay < time.Millisecond {
+			delay = time.Millisecond
+		}
+	}
+	return fmt.Errorf("could not catch a query mid-flight (host too fast for the corpus)")
+}
+
+func (b *bench) abandoned() (float64, error) {
+	mf, err := b.scrapeMetrics()
+	if err != nil {
+		return 0, err
+	}
+	return mf.value("gsqld_queries_abandoned_total"), nil
+}
+
+// metricsFamily is a flat view over one /metrics scrape.
+type metricsFamily map[string]float64
+
+// value returns a label-less series value (0 when absent).
+func (mf metricsFamily) value(name string) float64 { return mf[name] }
+
+// responses5xx sums gsqld_http_responses_total over 5xx codes.
+func (mf metricsFamily) responses5xx() float64 {
+	total := 0.0
+	for series, v := range mf {
+		if strings.HasPrefix(series, `gsqld_http_responses_total{`) && strings.Contains(series, `code="5`) {
+			total += v
+		}
+	}
+	return total
+}
+
+func (b *bench) scrapeMetrics() (metricsFamily, error) {
+	resp, err := http.Get(b.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	mf := metricsFamily{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		mf[line[:sp]] = v
+	}
+	return mf, nil
+}

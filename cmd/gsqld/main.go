@@ -1,13 +1,18 @@
 // Command gsqld serves the graphsql engine over HTTP as a long-running
 // query service: a named multi-graph registry with copy-on-swap
-// reloads, per-session prepared plans and settings, and an
-// admission-control scheduler that divides the machine's worker budget
-// across concurrent queries.
+// reloads, per-session prepared plans and settings (plus wire-level
+// POST /prepare + /execute), an admission-control scheduler that
+// divides the machine's worker budget across concurrent queries, a
+// result-set cache serving repeated SELECTs without engine work,
+// chunked streaming responses for large results ("stream": true), and
+// Prometheus metrics at GET /metrics.
 //
 //	$ gsqld -addr :8765 -load social.sql
 //	$ curl -s localhost:8765/healthz
 //	$ curl -s -X POST localhost:8765/query \
 //	    -d '{"sql": "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER knows EDGE (src, dst)", "args": [1, 42]}'
+//	$ curl -s -X POST localhost:8765/query -d '{"sql": "SELECT * FROM knows", "stream": true}'
+//	$ curl -s localhost:8765/metrics | grep gsqld_cache
 //
 // Disconnecting a client (or a -timeout / timeout_ms expiry) cancels
 // the query's context; cancellation reaches inside a single running
@@ -44,6 +49,8 @@ func main() {
 	totalWorkers := flag.Int("workers", 0, "total worker budget divided across queries (0 = GOMAXPROCS)")
 	perQuery := flag.Int("per-query-workers", 0, "per-query worker cap (0 = total budget)")
 	timeout := flag.Duration("timeout", 0, "per-query execution timeout (0 = none)")
+	cacheEntries := flag.Int("cache-entries", 0, "result-cache entry cap (0 = 512, negative disables the cache)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result-cache byte budget (0 = 64 MiB)")
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
@@ -54,6 +61,8 @@ func main() {
 		TotalWorkers:    *totalWorkers,
 		PerQueryWorkers: *perQuery,
 		QueryTimeout:    *timeout,
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -58,10 +58,19 @@
 //	s.Query(ctx, `SET parallelism = 2`)          // this session only
 //	res, err := s.Query(ctx, `SELECT ...`, args) // cached plan on repeat
 //
+// Large results can be consumed incrementally instead of as one
+// row-major copy: QueryRowsCtx (and Session.QueryRows) return a Rows
+// cursor over a stable snapshot of the engine's columnar result,
+// handing out bounded row batches under the same cancellation
+// contract. DataVersion exposes a write counter that result caches key
+// on so a cached SELECT is never served across a write.
+//
 // cmd/gsqld exposes all of this over HTTP — a multi-graph registry
-// with copy-on-swap reloads and an admission-control scheduler — via
-// the structured encoding of internal/wire; see the README's "Running
-// as a server".
+// with copy-on-swap reloads, an admission-control scheduler, a
+// result-set cache, chunked streaming responses, wire-level prepared
+// statements and Prometheus metrics — via the structured encoding of
+// internal/wire; see the README's "Running as a server" and
+// "Production serving".
 package graphsql
 
 import (
@@ -72,6 +81,7 @@ import (
 	"time"
 
 	"graphsql/internal/engine"
+	"graphsql/internal/exec"
 	"graphsql/internal/storage"
 	"graphsql/internal/types"
 )
@@ -275,6 +285,100 @@ func (db *DB) QueryCtx(ctx context.Context, sql string, args ...any) (*Result, e
 	}
 	return chunkToResult(chunk), nil
 }
+
+// Rows is an incrementally consumable query result: the columnar chunk
+// the engine materialized, handed out in bounded row batches instead of
+// one row-major [][]any copy. It is the client side of the engine's
+// row-batch cursor seam (internal/exec.Cursor) and what the gsqld
+// streaming response rides on: a 100k-row result is converted and
+// encoded batch by batch, so the full response never exists in memory
+// at once. NextBatch polls the query's context, keeping the cursor
+// under the same cancellation contract as execution. Not safe for
+// concurrent use.
+type Rows struct {
+	// Columns holds the output column names.
+	Columns []string
+	cur     *exec.Cursor
+}
+
+func newRows(ctx context.Context, chunk *storage.Chunk) *Rows {
+	cur := exec.NewCursor(ctx, chunk)
+	r := &Rows{cur: cur}
+	for _, m := range cur.Schema() {
+		r.Columns = append(r.Columns, m.Name)
+	}
+	return r
+}
+
+// Len returns the total row count of the result.
+func (r *Rows) Len() int { return r.cur.NumRows() }
+
+// NextBatch returns the next batch of up to maxRows rows (maxRows <= 0
+// means all remaining rows), or (nil, nil) once the result is
+// exhausted. Cells use the same representations as Result.Rows.
+func (r *Rows) NextBatch(maxRows int) ([][]any, error) {
+	win, err := r.cur.Next(maxRows)
+	if err != nil || win == nil {
+		return nil, err
+	}
+	out := make([][]any, win.NumRows())
+	for i := range out {
+		row := make([]any, len(win.Cols))
+		for j, col := range win.Cols {
+			row[j] = fromValue(col.Get(i))
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// QueryRowsCtx is QueryCtx returning an incremental cursor instead of a
+// fully converted Result. For SELECT statements the read lock is
+// released before returning — the cursor walks a stable snapshot of the
+// materialized chunk (storage.Chunk.Snapshot), so a slow consumer never
+// blocks writers. Non-SELECT statements execute to completion under the
+// write lock and return an empty (or small, fully materialized) cursor.
+func (db *DB) QueryRowsCtx(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	params, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	p, err := db.eng.Prepare(sql, params...)
+	if err != nil {
+		db.mu.RUnlock()
+		return nil, err
+	}
+	if p.IsSelect() {
+		chunk, err := db.eng.ExecPrepared(ctx, p, nil, params...)
+		if err != nil {
+			db.mu.RUnlock()
+			return nil, err
+		}
+		snap := chunk.Snapshot()
+		db.mu.RUnlock()
+		return newRows(ctx, snap), nil
+	}
+	db.mu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	chunk, err := db.eng.ExecPrepared(ctx, p, nil, params...)
+	if err != nil {
+		return nil, err
+	}
+	if chunk == nil {
+		return newRows(ctx, nil), nil
+	}
+	return newRows(ctx, chunk.Snapshot()), nil
+}
+
+// DataVersion reports a counter bumped by every statement that may
+// change query-visible data (CREATE/DROP/INSERT/DELETE). Two SELECT
+// executions bracketed by equal DataVersion observations saw the same
+// data; the gsqld result cache keys on it (plus the registry
+// generation) so a cached result is never served across a write.
+// Reading it takes no lock.
+func (db *DB) DataVersion() uint64 { return db.eng.DataVersion() }
 
 // QueryScalar runs a query expected to produce exactly one row and one
 // column and returns the single cell.

@@ -108,6 +108,15 @@ func (dg *DynamicGraph) rebuildThreshold() int {
 // unchanged (append-only contract). Returns whether a full rebuild
 // happened.
 func (dg *DynamicGraph) Refresh(current *storage.Chunk) (rebuilt bool, err error) {
+	return dg.RefreshCtx(context.Background(), current)
+}
+
+// RefreshCtx is Refresh with a cancellation context: a snapshot rebuild
+// triggered by delta growth runs the full graph construction, and the
+// ctx is threaded through its dictionary-encode and CSR chunk loops so
+// a canceled query does not pin the write lock for the whole rebuild.
+// On cancellation the index is left unchanged.
+func (dg *DynamicGraph) RefreshCtx(ctx context.Context, current *storage.Chunk) (rebuilt bool, err error) {
 	n := current.NumRows()
 	// Fast path: nothing to absorb. Taken under the read lock so
 	// concurrent queries over an unchanged table never serialize.
@@ -127,7 +136,7 @@ func (dg *DynamicGraph) Refresh(current *storage.Chunk) (rebuilt bool, err error
 	}
 	newEdges := n - dg.appliedRows
 	if dg.deltaEdgesLocked()+newEdges > dg.rebuildThreshold() {
-		pg, err := BuildGraphP(current, dg.pg.SrcIdx, dg.pg.DstIdx, dg.pg.Parallelism)
+		pg, err := BuildGraphCtx(ctx, current, dg.pg.SrcIdx, dg.pg.DstIdx, dg.pg.Parallelism)
 		if err != nil {
 			return false, err
 		}

@@ -62,6 +62,14 @@ func BuildGraph(edges *storage.Chunk, srcIdx, dstIdx int) (*PreparedGraph, error
 // graph inherit the same budget. The graph is bit-identical to a
 // sequential build at any setting.
 func BuildGraphP(edges *storage.Chunk, srcIdx, dstIdx, parallelism int) (*PreparedGraph, error) {
+	return BuildGraphCtx(context.Background(), edges, srcIdx, dstIdx, parallelism)
+}
+
+// BuildGraphCtx is BuildGraphP with a cancellation context threaded
+// through the dictionary-encode and CSR chunk loops: a cancel landing
+// during ad-hoc graph construction aborts the build within a few
+// thousand rows instead of finishing it. A nil ctx never cancels.
+func BuildGraphCtx(ctx context.Context, edges *storage.Chunk, srcIdx, dstIdx, parallelism int) (*PreparedGraph, error) {
 	if srcIdx < 0 || srcIdx >= len(edges.Cols) || dstIdx < 0 || dstIdx >= len(edges.Cols) {
 		return nil, fmt.Errorf("graph build: edge column index out of range")
 	}
@@ -91,14 +99,18 @@ func BuildGraphP(edges *storage.Chunk, srcIdx, dstIdx, parallelism int) (*Prepar
 	srcIDs := make([]graph.VertexID, m)
 	dstIDs := make([]graph.VertexID, m)
 	ids := [][]graph.VertexID{srcIDs, dstIDs}
+	var err error
 	if stringKeyed(sc.Kind) {
 		dict = graph.NewStringDict(m)
-		dict.EncodeColumnsString([][]string{sc.Strs, dc.Strs}, ids, parallelism)
+		err = dict.EncodeColumnsStringCtx(ctx, [][]string{sc.Strs, dc.Strs}, ids, parallelism)
 	} else {
 		dict = graph.NewIntDict(m)
-		dict.EncodeColumnsInt([][]int64{sc.Ints, dc.Ints}, ids, parallelism)
+		err = dict.EncodeColumnsIntCtx(ctx, [][]int64{sc.Ints, dc.Ints}, ids, parallelism)
 	}
-	csr, err := graph.BuildCSRParallel(dict.Len(), srcIDs, dstIDs, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	csr, err := graph.BuildCSRParallelCtx(ctx, dict.Len(), srcIDs, dstIDs, parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"graphsql/internal/analyze"
 	"graphsql/internal/core"
@@ -38,6 +39,11 @@ type Engine struct {
 	// schemaVersion counts catalog shape changes (CREATE/DROP TABLE);
 	// prepared statements bound against an older version are stale.
 	schemaVersion uint64
+	// dataVersion counts statements that may have changed query-visible
+	// state (CREATE/DROP/INSERT/DELETE), including failed ones that may
+	// have partially applied. It is atomic so result caches can key on
+	// it without taking the engine's locks; see DataVersion.
+	dataVersion atomic.Uint64
 	// Stats accumulates executor instrumentation when non-nil.
 	Stats *exec.Stats
 }
@@ -74,6 +80,14 @@ func (e *Engine) Parallelism() int { return e.parallelism }
 // CREATE TABLE and DROP TABLE. Prepared statements remember the version
 // they were bound against (see Prepared.Stale).
 func (e *Engine) SchemaVersion() uint64 { return e.schemaVersion }
+
+// DataVersion reports a counter bumped by every statement that may
+// change query-visible state (CREATE/DROP/INSERT/DELETE — before it
+// runs, so even a partially applied failure moves it). Two executions
+// of one SELECT with equal DataVersion observations are guaranteed to
+// see the same data; result caches key on it to never serve a result
+// across a write. Reading it takes no lock.
+func (e *Engine) DataVersion() uint64 { return e.dataVersion.Load() }
 
 // ExecOptions carries per-execution overrides. The zero value is not
 // meaningful — use DefaultExecOptions (Parallelism -1 = inherit).
@@ -152,6 +166,19 @@ func (p *Prepared) Stale(e *Engine, params []types.Value) bool {
 		}
 	}
 	return false
+}
+
+// Describe parses a statement without binding it: the parameter count
+// and statement class are available even before any representative
+// argument values exist. The wire-level PREPARE path uses it to defer
+// binding until the first typed execution.
+func (e *Engine) Describe(sql string) (numParams int, isSelect bool, err error) {
+	stmt, nparams, err := parser.ParseWithParams(sql)
+	if err != nil {
+		return 0, false, err
+	}
+	_, sel := stmt.(*ast.SelectStmt)
+	return nparams, sel, nil
 }
 
 // Prepare parses and, for SELECT statements, binds and rewrites sql.
@@ -293,10 +320,13 @@ func (e *Engine) execStmt(ctx context.Context, stmt ast.Statement, params []type
 		}
 		return exec.Execute(p, ectx)
 	case *ast.CreateTableStmt:
+		e.dataVersion.Add(1)
 		return nil, e.execCreateTable(t)
 	case *ast.InsertStmt:
+		e.dataVersion.Add(1)
 		return nil, e.execInsert(ctx, t, params)
 	case *ast.DropTableStmt:
+		e.dataVersion.Add(1)
 		if err := e.cat.DropTable(t.Name); err != nil {
 			return nil, err
 		}
@@ -304,6 +334,7 @@ func (e *Engine) execStmt(ctx context.Context, stmt ast.Statement, params []type
 		e.schemaVersion++
 		return nil, nil
 	case *ast.DeleteStmt:
+		e.dataVersion.Add(1)
 		return nil, e.execDelete(t, params)
 	case *ast.SetStmt:
 		return nil, e.execSet(t, params, opts)

@@ -1,0 +1,72 @@
+package exec
+
+import (
+	"context"
+
+	"graphsql/internal/storage"
+)
+
+// Cursor is the row-batch iterator seam over a materialized result:
+// the engine executes a plan to one columnar chunk (the MonetDB model —
+// every operator materializes fully), and the cursor then hands the
+// rows out in bounded windows so row-oriented consumers (the HTTP
+// streaming path, the CLI) never build a second, row-major copy of the
+// whole result. Each Next call polls the cancellation context, keeping
+// a disconnecting client's cursor under the same cancellation contract
+// as execution itself.
+//
+// The windows are zero-copy views (storage.Chunk.Slice); they stay
+// valid as long as the underlying chunk does. A Cursor is not safe for
+// concurrent use.
+type Cursor struct {
+	ctx   context.Context
+	chunk *storage.Chunk
+	pos   int
+}
+
+// NewCursor wraps a materialized chunk. ctx may be nil (never cancels);
+// chunk may be nil (an empty result, e.g. a DDL statement).
+func NewCursor(ctx context.Context, chunk *storage.Chunk) *Cursor {
+	return &Cursor{ctx: ctx, chunk: chunk}
+}
+
+// Schema returns the result schema (nil for an empty result).
+func (c *Cursor) Schema() storage.Schema {
+	if c.chunk == nil {
+		return nil
+	}
+	return c.chunk.Schema
+}
+
+// NumRows returns the total row count.
+func (c *Cursor) NumRows() int {
+	if c.chunk == nil {
+		return 0
+	}
+	return c.chunk.NumRows()
+}
+
+// Next returns the next window of up to maxRows rows as a zero-copy
+// chunk view, or (nil, nil) once the cursor is exhausted. It returns
+// the context's error if the consumer was canceled between batches.
+func (c *Cursor) Next(maxRows int) (*storage.Chunk, error) {
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	n := c.NumRows()
+	if c.pos >= n {
+		return nil, nil
+	}
+	if maxRows <= 0 {
+		maxRows = n - c.pos
+	}
+	hi := c.pos + maxRows
+	if hi > n {
+		hi = n
+	}
+	win := c.chunk.Slice(c.pos, hi)
+	c.pos = hi
+	return win, nil
+}

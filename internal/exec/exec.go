@@ -340,7 +340,7 @@ func execGraphMatch(g *plan.GraphMatch, ctx *Context) (*storage.Chunk, error) {
 	if scan, ok := g.Edge.(*plan.Scan); ok && ctx.GraphIndexes != nil {
 		if dg, ok := ctx.GraphIndexes[GraphIndexKey(scan.Table.Name, g.SrcIdx, g.DstIdx)]; ok {
 			before := dg.AppliedRows()
-			rebuilt, err := dg.Refresh(scan.Table.Chunk())
+			rebuilt, err := dg.RefreshCtx(ctx.Ctx, scan.Table.Chunk())
 			if err != nil {
 				return nil, err
 			}
@@ -359,7 +359,7 @@ func execGraphMatch(g *plan.GraphMatch, ctx *Context) (*storage.Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
-	pg, err := core.BuildGraphP(edges, g.SrcIdx, g.DstIdx, ctx.Parallelism)
+	pg, err := core.BuildGraphCtx(ctx.Ctx, edges, g.SrcIdx, g.DstIdx, ctx.Parallelism)
 	if err != nil {
 		return nil, err
 	}

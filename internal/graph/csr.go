@@ -7,7 +7,10 @@
 // weights), batched over many source/destination pairs.
 package graph
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // VertexID is a dense vertex identifier in H = {0..N-1}.
 type VertexID = int32
@@ -49,18 +52,34 @@ func (g *CSR) edgeRange(v VertexID) (int64, int64) {
 // of dense vertex ids. n is the vertex count. Entries with src or dst
 // outside [0, n) are rejected.
 func BuildCSR(n int, src, dst []VertexID) (*CSR, error) {
+	return buildCSRSeq(context.Background(), n, src, dst)
+}
+
+// buildCSRSeq is the sequential builder with an optional cancellation
+// context, polled every cancelCheckInterval rows in each pass.
+func buildCSRSeq(ctx context.Context, n int, src, dst []VertexID) (*CSR, error) {
 	if len(src) != len(dst) {
 		return nil, fmt.Errorf("graph: src/dst length mismatch: %d vs %d", len(src), len(dst))
 	}
 	m := len(src)
 	offsets := make([]int64, n+1)
-	for _, s := range src {
+	for row, s := range src {
+		if row&(cancelCheckInterval-1) == 0 {
+			if err := canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		if s < 0 || int(s) >= n {
 			return nil, fmt.Errorf("graph: source id %d out of range [0,%d)", s, n)
 		}
 		offsets[s+1]++
 	}
-	for _, d := range dst {
+	for row, d := range dst {
+		if row&(cancelCheckInterval-1) == 0 {
+			if err := canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		if d < 0 || int(d) >= n {
 			return nil, fmt.Errorf("graph: destination id %d out of range [0,%d)", d, n)
 		}
@@ -74,6 +93,11 @@ func BuildCSR(n int, src, dst []VertexID) (*CSR, error) {
 	cursor := make([]int64, n)
 	copy(cursor, offsets[:n])
 	for row := 0; row < m; row++ {
+		if row&(cancelCheckInterval-1) == 0 {
+			if err := canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		s := src[row]
 		pos := cursor[s]
 		cursor[s]++
@@ -89,6 +113,14 @@ func BuildCSR(n int, src, dst []VertexID) (*CSR, error) {
 // Perm) come out bit-identical regardless of scheduling. Inputs below
 // the size threshold fall back to the sequential builder.
 func BuildCSRParallel(n int, src, dst []VertexID, parallelism int) (*CSR, error) {
+	return BuildCSRParallelCtx(context.Background(), n, src, dst, parallelism)
+}
+
+// BuildCSRParallelCtx is BuildCSRParallel with a cancellation context,
+// polled every cancelCheckInterval rows inside the chunked degree-count
+// and scatter loops (and the sequential fallback), so a cancel landing
+// during graph construction aborts within a few thousand rows.
+func BuildCSRParallelCtx(ctx context.Context, n int, src, dst []VertexID, parallelism int) (*CSR, error) {
 	workers := resolveWorkers(parallelism)
 	// Keep every chunk large enough that the per-chunk count arrays
 	// (workers × n) and goroutine startup stay noise.
@@ -96,18 +128,19 @@ func BuildCSRParallel(n int, src, dst []VertexID, parallelism int) (*CSR, error)
 		workers = maxW
 	}
 	if workers <= 1 || len(src) < minParallelCSREdges {
-		return BuildCSR(n, src, dst)
+		return buildCSRSeq(ctx, n, src, dst)
 	}
-	return buildCSRParallel(n, src, dst, workers)
+	return buildCSRParallel(ctx, n, src, dst, workers)
 }
 
 // buildCSRParallel is the parallel builder proper; tests call it
 // directly to exercise the chunked path on small inputs.
-func buildCSRParallel(n int, src, dst []VertexID, workers int) (*CSR, error) {
+func buildCSRParallel(ctx context.Context, n int, src, dst []VertexID, workers int) (*CSR, error) {
 	if len(src) != len(dst) {
 		return nil, fmt.Errorf("graph: src/dst length mismatch: %d vs %d", len(src), len(dst))
 	}
 	m := len(src)
+	cp := &cancelPoller{ctx: ctx}
 	// Phase 1: per-chunk degree counting and range validation.
 	counts := make([][]int32, workers)
 	badSrc := make([]int, workers)
@@ -119,6 +152,9 @@ func buildCSRParallel(n int, src, dst []VertexID, workers int) (*CSR, error) {
 		cnt := make([]int32, n)
 		badS, badD := -1, -1
 		for row := lo; row < hi; row++ {
+			if row&(cancelCheckInterval-1) == 0 && cp.poll() {
+				return
+			}
 			s := src[row]
 			if s < 0 || int(s) >= n {
 				if badS < 0 {
@@ -136,6 +172,9 @@ func buildCSRParallel(n int, src, dst []VertexID, workers int) (*CSR, error) {
 		}
 		counts[w], badSrc[w], badDst[w] = cnt, badS, badD
 	})
+	if err := canceled(ctx); err != nil {
+		return nil, err
+	}
 	// Report the same error the sequential builder would: the first
 	// out-of-range source anywhere, else the first bad destination.
 	firstBad := func(bad []int) int {
@@ -161,6 +200,11 @@ func buildCSRParallel(n int, src, dst []VertexID, workers int) (*CSR, error) {
 	offsets := make([]int64, n+1)
 	pos := int64(0)
 	for v := 0; v < n; v++ {
+		if v&(cancelCheckInterval-1) == 0 {
+			if err := canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		offsets[v] = pos
 		for _, cnt := range counts {
 			if cnt == nil {
@@ -178,12 +222,18 @@ func buildCSRParallel(n int, src, dst []VertexID, workers int) (*CSR, error) {
 	runRanges(workers, m, func(w, lo, hi int) {
 		cur := counts[w]
 		for row := lo; row < hi; row++ {
+			if row&(cancelCheckInterval-1) == 0 && cp.poll() {
+				return
+			}
 			p := cur[src[row]]
 			cur[src[row]]++
 			targets[p] = dst[row]
 			perm[p] = int32(row)
 		}
 	})
+	if err := canceled(ctx); err != nil {
+		return nil, err
+	}
 	return &CSR{N: n, Offsets: offsets, Targets: targets, Perm: perm}, nil
 }
 

@@ -9,21 +9,53 @@ package graph
 // (so every key gets exactly the ID sequential EncodeInt/EncodeString
 // calls would assign), and finally the chunks fill in the output IDs
 // from the then-read-only map in parallel.
+//
+// Every loop — sequential and per-chunk alike — polls the optional
+// cancellation context every cancelCheckInterval keys, so a cancel
+// landing during ad-hoc graph construction aborts the encode within a
+// few thousand keys instead of waiting for the whole column pair.
+
+import (
+	"context"
+)
 
 // EncodeColumnsInt encodes the concatenation of the given int64 key
 // columns, writing dense IDs into the parallel outs slices (outs[c]
 // must have len(cols[c])). IDs are identical to sequential EncodeInt
 // calls in stream order, for any parallelism.
 func (d *Dict) EncodeColumnsInt(cols [][]int64, outs [][]VertexID, parallelism int) {
-	bulkEncode(d.ints, &d.n, cols, outs, resolveWorkers(parallelism))
+	// Without a context the encode cannot fail.
+	_ = d.EncodeColumnsIntCtx(context.Background(), cols, outs, parallelism)
+}
+
+// EncodeColumnsIntCtx is EncodeColumnsInt with a cancellation context,
+// polled at chunk boundaries and every few thousand keys inside each
+// loop. On cancellation the dictionary is left partially populated and
+// must be discarded; the outs contents are unspecified.
+func (d *Dict) EncodeColumnsIntCtx(ctx context.Context, cols [][]int64, outs [][]VertexID, parallelism int) error {
+	return bulkEncode(ctx, d.ints, &d.n, cols, outs, resolveWorkers(parallelism))
 }
 
 // EncodeColumnsString is EncodeColumnsInt over the string key space.
 func (d *Dict) EncodeColumnsString(cols [][]string, outs [][]VertexID, parallelism int) {
-	bulkEncode(d.strs, &d.n, cols, outs, resolveWorkers(parallelism))
+	_ = d.EncodeColumnsStringCtx(context.Background(), cols, outs, parallelism)
 }
 
-func bulkEncode[K comparable](m map[K]VertexID, next *VertexID, cols [][]K, outs [][]VertexID, workers int) {
+// EncodeColumnsStringCtx is EncodeColumnsIntCtx over the string key
+// space.
+func (d *Dict) EncodeColumnsStringCtx(ctx context.Context, cols [][]string, outs [][]VertexID, parallelism int) error {
+	return bulkEncode(ctx, d.strs, &d.n, cols, outs, resolveWorkers(parallelism))
+}
+
+// canceled polls a possibly-nil context.
+func canceled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+func bulkEncode[K comparable](ctx context.Context, m map[K]VertexID, next *VertexID, cols [][]K, outs [][]VertexID, workers int) error {
 	total := 0
 	for _, col := range cols {
 		total += len(col)
@@ -32,6 +64,11 @@ func bulkEncode[K comparable](m map[K]VertexID, next *VertexID, cols [][]K, outs
 		for c, col := range cols {
 			out := outs[c]
 			for i, k := range col {
+				if i&(cancelCheckInterval-1) == 0 {
+					if err := canceled(ctx); err != nil {
+						return err
+					}
+				}
 				id, ok := m[k]
 				if !ok {
 					id = *next
@@ -41,9 +78,9 @@ func bulkEncode[K comparable](m map[K]VertexID, next *VertexID, cols [][]K, outs
 				out[i] = id
 			}
 		}
-		return
+		return nil
 	}
-	bulkEncodeParallel(m, next, cols, outs, workers, total)
+	return bulkEncodeParallel(ctx, m, next, cols, outs, workers, total)
 }
 
 // encodeChunk is one contiguous piece of a key column plus the keys it
@@ -53,7 +90,7 @@ type encodeChunk[K comparable] struct {
 	distinct    []K
 }
 
-func bulkEncodeParallel[K comparable](m map[K]VertexID, next *VertexID, cols [][]K, outs [][]VertexID, workers, total int) {
+func bulkEncodeParallel[K comparable](ctx context.Context, m map[K]VertexID, next *VertexID, cols [][]K, outs [][]VertexID, workers, total int) error {
 	// A few chunks per worker balances skew without shrinking chunks
 	// below the point where map overhead dominates.
 	size := total / (workers * 2)
@@ -70,13 +107,17 @@ func bulkEncodeParallel[K comparable](m map[K]VertexID, next *VertexID, cols [][
 			chunks = append(chunks, &encodeChunk[K]{col: c, lo: lo, hi: hi})
 		}
 	}
+	cp := &cancelPoller{ctx: ctx}
 	// Phase 1 (parallel): per-chunk dedup of keys the dictionary does
 	// not already know; the shared map is read-only here.
 	runIndexed(workers, len(chunks), func(_, i int) {
 		ch := chunks[i]
 		keys := cols[ch.col][ch.lo:ch.hi]
 		local := make(map[K]struct{}, len(keys)/4+8)
-		for _, k := range keys {
+		for j, k := range keys {
+			if j&(cancelCheckInterval-1) == 0 && cp.poll() {
+				return
+			}
 			if _, ok := m[k]; ok {
 				continue
 			}
@@ -87,9 +128,15 @@ func bulkEncodeParallel[K comparable](m map[K]VertexID, next *VertexID, cols [][
 			ch.distinct = append(ch.distinct, k)
 		}
 	})
+	if err := canceled(ctx); err != nil {
+		return err
+	}
 	// Phase 2 (sequential): intern distinct keys in stream order so the
 	// dense IDs match what a sequential pass would assign.
 	for _, ch := range chunks {
+		if err := canceled(ctx); err != nil {
+			return err
+		}
 		for _, k := range ch.distinct {
 			if _, ok := m[k]; !ok {
 				m[k] = *next
@@ -103,7 +150,11 @@ func bulkEncodeParallel[K comparable](m map[K]VertexID, next *VertexID, cols [][
 		keys := cols[ch.col]
 		out := outs[ch.col]
 		for j := ch.lo; j < ch.hi; j++ {
+			if j&(cancelCheckInterval-1) == 0 && cp.poll() {
+				return
+			}
 			out[j] = m[keys[j]]
 		}
 	})
+	return canceled(ctx)
 }

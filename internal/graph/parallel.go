@@ -1,6 +1,11 @@
 package graph
 
-import "graphsql/internal/par"
+import (
+	"context"
+	"sync/atomic"
+
+	"graphsql/internal/par"
+)
 
 // Parallelism knobs of the shortest-path runtime. A parallelism value
 // of 0 (the default everywhere) resolves to runtime.GOMAXPROCS(0);
@@ -39,3 +44,27 @@ func runIndexed(workers, n int, f func(worker, item int)) { par.Indexed(workers,
 // runRanges splits [0, n) into one contiguous range per worker and
 // runs them concurrently; see par.Ranges.
 func runRanges(workers, n int, f func(worker, lo, hi int)) { par.Ranges(workers, n, f) }
+
+// cancelPoller coordinates cooperative cancellation across the workers
+// of one parallel phase: the first worker observing a dead context
+// flips a shared flag, so its peers bail at their next poll without
+// each paying the ctx.Err() synchronization. Workers poll every
+// cancelCheckInterval items; a nil context never cancels.
+type cancelPoller struct {
+	ctx  context.Context
+	stop atomic.Bool
+}
+
+func (p *cancelPoller) poll() bool {
+	if p.ctx == nil {
+		return false
+	}
+	if p.stop.Load() {
+		return true
+	}
+	if p.ctx.Err() != nil {
+		p.stop.Store(true)
+		return true
+	}
+	return false
+}

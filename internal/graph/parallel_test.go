@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -152,7 +153,7 @@ func TestBuildCSRParallelMatchesSequential(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, 3, 4, 7} {
-			got, err := buildCSRParallel(n, src, dst, workers)
+			got, err := buildCSRParallel(context.Background(), n, src, dst, workers)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -172,18 +173,18 @@ func TestBuildCSRParallelErrors(t *testing.T) {
 	src[60] = 77
 	dst[30] = -1
 	_, wantErr := BuildCSR(10, src, dst)
-	_, gotErr := buildCSRParallel(10, src, dst, 4)
+	_, gotErr := buildCSRParallel(context.Background(), 10, src, dst, 4)
 	if wantErr == nil || gotErr == nil || wantErr.Error() != gotErr.Error() {
 		t.Fatalf("error mismatch: sequential %v, parallel %v", wantErr, gotErr)
 	}
 	// Destination errors surface once sources are valid.
 	src[40], src[60] = 0, 0
 	_, wantErr = BuildCSR(10, src, dst)
-	_, gotErr = buildCSRParallel(10, src, dst, 4)
+	_, gotErr = buildCSRParallel(context.Background(), 10, src, dst, 4)
 	if wantErr == nil || gotErr == nil || wantErr.Error() != gotErr.Error() {
 		t.Fatalf("dst error mismatch: sequential %v, parallel %v", wantErr, gotErr)
 	}
-	if _, err := buildCSRParallel(10, src, dst[:50], 4); err == nil {
+	if _, err := buildCSRParallel(context.Background(), 10, src, dst[:50], 4); err == nil {
 		t.Fatal("expected length-mismatch error")
 	}
 }
@@ -213,7 +214,7 @@ func TestBulkEncodeMatchesSequential(t *testing.T) {
 		parDict := NewIntDict(m)
 		gotS := make([]VertexID, m)
 		gotD := make([]VertexID, m)
-		bulkEncodeParallel(parDict.ints, &parDict.n, [][]int64{ss, ds}, [][]VertexID{gotS, gotD}, 4, 2*m)
+		bulkEncodeParallel(context.Background(), parDict.ints, &parDict.n, [][]int64{ss, ds}, [][]VertexID{gotS, gotD}, 4, 2*m)
 		if parDict.Len() != seqDict.Len() {
 			t.Fatalf("trial %d: |V| %d != %d", trial, parDict.Len(), seqDict.Len())
 		}

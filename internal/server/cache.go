@@ -1,0 +1,263 @@
+package server
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"graphsql"
+	"graphsql/internal/sql/lexer"
+)
+
+// ResultCache is the server's result-set cache: an LRU over fully
+// materialized SELECT results keyed by (graph name, registry
+// generation, engine data version, statement text, bound arguments).
+// Repeated SELECTs are served straight from it without touching the
+// engine — no parse, no plan, no admission slot.
+//
+// Staleness is handled by the key, not by scanning: a copy-on-swap
+// reload bumps the graph's registry generation and every write
+// statement bumps the database's data version (see DB.DataVersion), so
+// a result computed before either can never be looked up afterwards.
+// Writes and reloads additionally purge the graph's entries eagerly
+// (InvalidateGraph) so dead entries release memory immediately instead
+// of aging out of the LRU.
+//
+// Entries hold both the encoded buffered response (served verbatim on
+// buffered hits — byte-identical to a fresh execution) and the
+// materialized Result (re-chunked on streaming hits). Entries larger
+// than a quarter of the byte budget are never admitted, so one huge
+// result cannot wipe the working set.
+type ResultCache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	bytes   int64
+
+	hits, misses, evictions, invalidated uint64
+}
+
+type cacheEntry struct {
+	key     string
+	graph   string
+	res     *graphsql.Result
+	encoded []byte
+}
+
+// cacheEntryOverhead approximates the bookkeeping bytes per entry on
+// top of the encoded payload (list element, map bucket, key).
+const cacheEntryOverhead = 256
+
+func (e *cacheEntry) size() int64 {
+	return int64(len(e.encoded)) + resultFootprint(e.res) + int64(len(e.key)) + cacheEntryOverhead
+}
+
+// resultFootprint approximates the resident bytes of the materialized
+// Result an entry retains for streaming hits. Boxed cells dominate:
+// an interface value plus the boxed payload runs ~24 bytes even for an
+// int64 cell the JSON encodes in one byte, so counting only
+// len(encoded) would under-account real memory several times over.
+// String and path payload bytes are already covered by the encoded
+// length (the JSON carries them verbatim).
+func resultFootprint(res *graphsql.Result) int64 {
+	if res == nil {
+		return 0
+	}
+	rows := int64(len(res.Rows))
+	var cols int64
+	if rows > 0 {
+		cols = int64(len(res.Rows[0]))
+	}
+	const perRow = 24  // row slice header
+	const perCell = 24 // interface header + boxed payload
+	return rows*perRow + rows*cols*perCell
+}
+
+// NewResultCache builds a cache bounded by both an entry count and a
+// byte budget (callers pass resolved positive limits).
+func NewResultCache(maxEntries int, maxBytes int64) *ResultCache {
+	return &ResultCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		entries:    make(map[string]*list.Element),
+	}
+}
+
+// cacheKey builds the lookup key; it returns "" when the request is
+// not cacheable (an argument of a type the normalizer never produces).
+// Every field is length-prefixed (netstring style), so no payload byte
+// — a NUL inside a string argument, a separator lookalike in a graph
+// name — can shift field boundaries and collide two distinct requests
+// onto one key; argument values are additionally type-tagged so 1
+// (BIGINT), 1.0 (DOUBLE) and the string "1" stay distinct.
+func cacheKey(graph string, generation int64, dataVersion uint64, sql string, args []any) string {
+	var b strings.Builder
+	b.Grow(len(graph) + len(sql) + 32*len(args) + 64)
+	field := func(tag byte, payload string) {
+		b.WriteByte(tag)
+		b.WriteString(strconv.Itoa(len(payload)))
+		b.WriteByte(':')
+		b.WriteString(payload)
+	}
+	field('g', graph)
+	field('v', strconv.FormatInt(generation, 10))
+	field('d', strconv.FormatUint(dataVersion, 10))
+	field('q', sql)
+	for _, a := range args {
+		switch t := a.(type) {
+		case nil:
+			field('n', "")
+		case bool:
+			if t {
+				field('b', "1")
+			} else {
+				field('b', "0")
+			}
+		case int:
+			field('i', strconv.FormatInt(int64(t), 10))
+		case int64:
+			field('i', strconv.FormatInt(t, 10))
+		case float64:
+			field('f', strconv.FormatFloat(t, 'g', -1, 64))
+		case string:
+			field('s', t)
+		default:
+			return ""
+		}
+	}
+	return b.String()
+}
+
+// cacheableSQL reports whether a statement may be served from (and
+// admitted into) the cache: only reads qualify. The dialect's only
+// read statements open with SELECT or WITH, so a keyword sniff is
+// exact — anything else executes normally and misclassification is
+// impossible (no write statement can start with either keyword).
+func cacheableSQL(sql string) bool {
+	kw := firstKeyword(sql)
+	return kw == "select" || kw == "with"
+}
+
+// invalidatingSQL reports whether a statement may change data and must
+// purge the graph's cached results (the data-version key already
+// protects correctness; the purge frees memory eagerly).
+func invalidatingSQL(sql string) bool {
+	switch firstKeyword(sql) {
+	case "insert", "delete", "create", "drop":
+		return true
+	}
+	return false
+}
+
+// firstKeyword returns the statement's leading keyword, lower-cased,
+// by asking the engine's own lexer for the first token — whatever
+// whitespace and comment forms the lexer skips, this skips, so a
+// client tagging queries with a comment prefix classifies the same as
+// the bare statement. Anything that does not open with a reserved word
+// (including lex errors) yields "".
+func firstKeyword(sql string) string {
+	tok, err := lexer.New(sql).Next()
+	if err != nil || tok.Type != lexer.Keyword {
+		return ""
+	}
+	return strings.ToLower(tok.Text)
+}
+
+// Get returns the cached result and its buffered encoding, promoting
+// the entry to most-recently-used.
+func (rc *ResultCache) Get(key string) (*graphsql.Result, []byte, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	el, ok := rc.entries[key]
+	if !ok {
+		rc.misses++
+		return nil, nil, false
+	}
+	rc.hits++
+	rc.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.res, e.encoded, true
+}
+
+// Put inserts a result, evicting least-recently-used entries until the
+// budgets hold. Results bigger than a quarter of the byte budget are
+// dropped instead of cached.
+func (rc *ResultCache) Put(key, graph string, res *graphsql.Result, encoded []byte) {
+	e := &cacheEntry{key: key, graph: graph, res: res, encoded: encoded}
+	if e.size() > rc.maxBytes/4 {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if el, ok := rc.entries[key]; ok {
+		// Racing fill of the same key: keep the incumbent (identical by
+		// construction — same data version).
+		rc.ll.MoveToFront(el)
+		return
+	}
+	rc.entries[key] = rc.ll.PushFront(e)
+	rc.bytes += e.size()
+	for (len(rc.entries) > rc.maxEntries || rc.bytes > rc.maxBytes) && rc.ll.Len() > 1 {
+		rc.evictLocked(rc.ll.Back())
+		rc.evictions++
+	}
+}
+
+func (rc *ResultCache) evictLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	rc.ll.Remove(el)
+	delete(rc.entries, e.key)
+	rc.bytes -= e.size()
+}
+
+// InvalidateGraph drops every entry of the named graph (reload or
+// write); it returns the number of entries purged.
+func (rc *ResultCache) InvalidateGraph(graph string) int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	n := 0
+	for el := rc.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*cacheEntry).graph == graph {
+			rc.evictLocked(el)
+			n++
+		}
+		el = next
+	}
+	rc.invalidated += uint64(n)
+	return n
+}
+
+// CacheSnapshot is the cache's point-in-time view for /stats and
+// /metrics.
+type CacheSnapshot struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	MaxEntries  int    `json:"max_entries"`
+	MaxBytes    int64  `json:"max_bytes"`
+	Evictions   uint64 `json:"evictions"`
+	Invalidated uint64 `json:"invalidated_entries"`
+}
+
+// Snapshot reads the cache counters.
+func (rc *ResultCache) Snapshot() CacheSnapshot {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return CacheSnapshot{
+		Hits:        rc.hits,
+		Misses:      rc.misses,
+		Entries:     len(rc.entries),
+		Bytes:       rc.bytes,
+		MaxEntries:  rc.maxEntries,
+		MaxBytes:    rc.maxBytes,
+		Evictions:   rc.evictions,
+		Invalidated: rc.invalidated,
+	}
+}

@@ -48,6 +48,20 @@ func (r *Registry) Get(name string) (*graphsql.DB, bool) {
 	return e.db.Load(), true
 }
 
+// Resolve returns a named graph's database and generation as one
+// consistent pair: the read happens under the registry lock, which a
+// reload's swap+bump holds, so a caller can never observe the previous
+// database with the new generation. The result cache keys on the pair.
+func (r *Registry) Resolve(name string) (*graphsql.DB, int64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.graphs[name]
+	if !ok {
+		return nil, 0, false
+	}
+	return e.db.Load(), e.generation.Load(), true
+}
+
 // Load builds a fresh database from the script (and optional graph
 // indexes) and swaps it in under the given name, creating the entry if
 // needed. On any error the previous generation stays untouched.

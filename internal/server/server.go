@@ -1,16 +1,26 @@
 // Package server turns the embedded graphsql engine into a
 // long-running, concurrency-safe query service: an HTTP/JSON API over
 // a named multi-graph registry with copy-on-swap reloads, per-session
-// state (SET settings and a prepared parse+plan cache), and an
-// admission-control scheduler that divides the machine's worker budget
-// across concurrent queries.
+// state (SET settings, a prepared parse+plan cache, and wire-level
+// prepared statements), an admission-control scheduler that divides the
+// machine's worker budget across concurrent queries, a result-set cache
+// that serves repeated SELECTs without touching the engine, chunked
+// streaming for large results, and Prometheus-format metrics.
 //
 // Endpoints:
 //
-//	POST /query               run one statement (wire.QueryRequest)
+//	POST /query               run one statement (wire.QueryRequest);
+//	                          "stream":true selects the chunked NDJSON
+//	                          encoding of wire/stream.go
+//	POST /prepare             register a statement in a session
+//	                          (wire.PrepareRequest)
+//	POST /execute             run a registered statement by id
+//	                          (wire.ExecuteRequest)
 //	POST /graphs/{name}/load  build+swap a named graph (wire.LoadRequest)
 //	GET  /healthz             liveness probe
-//	GET  /stats               counters, admission and registry state
+//	GET  /stats               counters, admission, cache and registry
+//	                          state as JSON
+//	GET  /metrics             Prometheus text-format exposition
 //
 // Concurrency model: SELECTs over one graph run concurrently (the
 // facade's read lock), writers serialize, and a reload never blocks
@@ -21,14 +31,21 @@
 // that is rejected immediately with queue_full so overload degrades
 // predictably instead of collapsing.
 //
+// Result cache: SELECT results are cached keyed by (graph, registry
+// generation, engine data version, statement, bound args) — see
+// ResultCache — and a hit is served from memory without consuming an
+// admission slot. Reloads and write statements can never leak a stale
+// entry to a later reader: both bump a component of the key.
+//
 // Cancellation: a client disconnect (or timeout) cancels the request
 // context, which aborts the query at the nearest operator boundary,
-// source-group boundary, or in-traversal poll — single traversals are
-// abandoned within one BFS frontier level or a few thousand Dijkstra
-// pops, so a disconnected client frees its worker grant within
-// milliseconds rather than pinning it until the traversal finishes.
-// A request canceled while waiting in the admission queue leaves the
-// queue without ever consuming an in-flight slot or a worker grant.
+// source-group boundary, in-traversal poll, or graph-construction chunk
+// boundary — a disconnected client frees its worker grant within
+// milliseconds rather than pinning it until the query finishes. A
+// request canceled while waiting in the admission queue leaves the
+// queue without ever consuming an in-flight slot or a worker grant; a
+// streaming response canceled mid-flight ends with an error trailer
+// frame.
 package server
 
 import (
@@ -39,6 +56,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +90,12 @@ type Config struct {
 	// MaxSessions bounds the session table; the least-recently-used
 	// session is evicted beyond it. Defaults to 1024.
 	MaxSessions int
+	// CacheEntries bounds the result cache's entry count: 0 defaults to
+	// 512, negative disables the cache entirely.
+	CacheEntries int
+	// CacheBytes bounds the result cache's (approximate) memory;
+	// 0 defaults to 64 MiB.
+	CacheBytes int64
 }
 
 func (c *Config) defaults() {
@@ -93,15 +117,23 @@ func (c *Config) defaults() {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 1024
 	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
 }
 
 // Server is the HTTP query service. Create with New, serve its
 // Handler.
 type Server struct {
-	cfg Config
-	reg *Registry
-	adm *Admission
-	mux *http.ServeMux
+	cfg         Config
+	reg         *Registry
+	adm         *Admission
+	cache       *ResultCache // nil when disabled
+	httpMetrics *httpMetrics
+	mux         *http.ServeMux
 
 	sessMu   sync.Mutex
 	sessions map[string]*serverSession
@@ -116,13 +148,16 @@ type Server struct {
 }
 
 // serverSession is one client session: per-graph facade sessions so
-// SET settings and prepared plans survive across requests. A reload
-// swaps the graph's database; the stale binding is detected by pointer
-// comparison and replaced (settings reset with the new generation).
+// SET settings and prepared plans survive across requests, plus the
+// statements registered via POST /prepare. A reload swaps the graph's
+// database; the stale binding is detected by pointer comparison and
+// replaced (settings reset with the new generation).
 type serverSession struct {
-	mu      sync.Mutex
-	byGraph map[string]*boundSession
-	lastUse uint64
+	mu       sync.Mutex
+	byGraph  map[string]*boundSession
+	stmts    map[string]preparedStmt
+	nextStmt int
+	lastUse  uint64
 }
 
 type boundSession struct {
@@ -130,24 +165,68 @@ type boundSession struct {
 	sess *graphsql.Session
 }
 
+// preparedStmt is a wire-level prepared statement: the id resolves to
+// the statement text, which the facade session's plan cache then maps
+// to a parsed+bound plan (so /execute skips parse, bind and rewrite).
+type preparedStmt struct {
+	graph string
+	sql   string
+}
+
+// maxSessionStmts bounds one session's statement registry; past it the
+// registry is dropped wholesale — mirroring the facade plan cache —
+// and stale ids answer /execute with unknown-statement, prompting the
+// client to re-prepare. A client replaying a bounded statement set
+// never hits this; it exists so one session cannot grow server memory
+// without bound via /prepare.
+const maxSessionStmts = 256
+
+// registerStmt assigns the next statement id of the session.
+func (ss *serverSession) registerStmt(graph, sql string) string {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.stmts == nil || len(ss.stmts) >= maxSessionStmts {
+		ss.stmts = make(map[string]preparedStmt)
+	}
+	ss.nextStmt++
+	id := "stmt-" + strconv.Itoa(ss.nextStmt)
+	ss.stmts[id] = preparedStmt{graph: graph, sql: sql}
+	return id
+}
+
+// stmt resolves a registered statement id.
+func (ss *serverSession) stmt(id string) (preparedStmt, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	st, ok := ss.stmts[id]
+	return st, ok
+}
+
 // New builds a server and registers its default (empty) graph.
 func New(cfg Config) (*Server, error) {
 	cfg.defaults()
 	s := &Server{
-		cfg:      cfg,
-		reg:      NewRegistry(cfg.Parallelism),
-		adm:      NewAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.TotalWorkers, cfg.PerQueryWorkers),
-		sessions: make(map[string]*serverSession),
-		started:  time.Now(),
+		cfg:         cfg,
+		reg:         NewRegistry(cfg.Parallelism),
+		adm:         NewAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.TotalWorkers, cfg.PerQueryWorkers),
+		httpMetrics: newHTTPMetrics(),
+		sessions:    make(map[string]*serverSession),
+		started:     time.Now(),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = NewResultCache(cfg.CacheEntries, cfg.CacheBytes)
 	}
 	if _, _, err := s.reg.Load(cfg.DefaultGraph, "", nil); err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /graphs/{name}/load", s.handleLoad)
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("POST /query", s.instrument("/query", s.handleQuery))
+	mux.HandleFunc("POST /prepare", s.instrument("/prepare", s.handlePrepare))
+	mux.HandleFunc("POST /execute", s.instrument("/execute", s.handleExecute))
+	mux.HandleFunc("POST /graphs/{name}/load", s.instrument("/graphs/load", s.handleLoad))
 	s.mux = mux
 	return s, nil
 }
@@ -157,6 +236,9 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Admission exposes the scheduler (tests, instrumentation).
 func (s *Server) Admission() *Admission { return s.adm }
+
+// Cache exposes the result cache; nil when disabled.
+func (s *Server) Cache() *ResultCache { return s.cache }
 
 // Handler returns the root http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -204,7 +286,7 @@ func (ss *serverSession) bind(graph string, db *graphsql.DB) *graphsql.Session {
 	return b.sess
 }
 
-// writeResponse marshals a wire payload with the proper status code.
+// writeJSON marshals a wire payload with the proper status code.
 func writeJSON(w http.ResponseWriter, status int, payload any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -244,6 +326,32 @@ func (s *Server) failQuery(w http.ResponseWriter, code string, err error) {
 	writeJSON(w, errorStatus(code), wire.FromError(code, err))
 }
 
+// failExec classifies an execution error: timeout beats cancellation
+// beats plain SQL error.
+func (s *Server) failExec(w http.ResponseWriter, ctx context.Context, timedOut func() bool, err error) {
+	switch {
+	case timedOut():
+		s.failQuery(w, wire.CodeTimeout, err)
+	case ctx.Err() != nil:
+		s.failQuery(w, wire.CodeCanceled, err)
+	default:
+		s.failQuery(w, wire.CodeSQL, err)
+	}
+}
+
+// querySpec is one statement execution, shared by POST /query and
+// POST /execute.
+type querySpec struct {
+	graph         string
+	session       string
+	sql           string
+	args          []any
+	workers       int
+	timeoutMillis int
+	stream        bool
+	batchRows     int
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
 	if err != nil {
@@ -259,22 +367,72 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.failQuery(w, wire.CodeInvalidRequest, errors.New("missing sql"))
 		return
 	}
-	graphName := req.Graph
+	s.runQuery(w, r, querySpec{
+		graph: req.Graph, session: req.Session, sql: req.SQL, args: req.Args,
+		workers: req.Workers, timeoutMillis: req.TimeoutMillis,
+		stream: req.Stream, batchRows: req.BatchRows,
+	})
+}
+
+// runQuery executes one statement: result-cache lookup, admission,
+// execution through the session facade, and the buffered or streamed
+// response encoding.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
+	graphName := q.graph
 	if graphName == "" {
 		graphName = s.cfg.DefaultGraph
 	}
-	db, ok := s.reg.Get(graphName)
+	db, gen, ok := s.reg.Resolve(graphName)
 	if !ok {
 		s.failQuery(w, wire.CodeUnknownGraph, fmt.Errorf("graph %q is not loaded", graphName))
 		return
+	}
+
+	batch := q.batchRows
+	if batch <= 0 {
+		batch = wire.DefaultBatchRows
+	}
+	if batch > wire.MaxBatchRows {
+		batch = wire.MaxBatchRows
+	}
+
+	// Resolve the server session up front (not lazily at execution):
+	// a client whose requests keep hitting the result cache is still
+	// active, and must keep its LRU stamp fresh or eviction would
+	// retire its prepared statements and SET settings mid-use.
+	var ssess *serverSession
+	if q.session != "" {
+		ssess = s.session(q.session)
+	}
+
+	// Result-cache lookup. The generation and data version are read
+	// BEFORE execution: a write racing this request can at worst make
+	// us store a fresher result under the older key — a key no future
+	// request computes again — never serve an older result under a
+	// fresher key. A hit consumes no admission slot: it is memory out.
+	var key string
+	if s.cache != nil && cacheableSQL(q.sql) {
+		key = cacheKey(graphName, gen, db.DataVersion(), q.sql, q.args)
+		if key != "" {
+			if res, encoded, hit := s.cache.Get(key); hit {
+				s.queries.Add(1)
+				if q.stream {
+					s.streamResult(w, res, batch)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.Write(encoded)
+				return
+			}
+		}
 	}
 
 	// The request context is canceled when the client disconnects; the
 	// timeout (request-level, else server default) stacks on top.
 	ctx := r.Context()
 	timeout := s.cfg.QueryTimeout
-	if req.TimeoutMillis > 0 {
-		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	if q.timeoutMillis > 0 {
+		timeout = time.Duration(q.timeoutMillis) * time.Millisecond
 	}
 	var timedOut func() bool = func() bool { return false }
 	if timeout > 0 {
@@ -287,12 +445,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Resolve the facade session (one-shot sessions are throwaway) and
 	// its worker request for admission.
 	var fsess *graphsql.Session
-	if req.Session != "" {
-		fsess = s.session(req.Session).bind(graphName, db)
+	if ssess != nil {
+		fsess = ssess.bind(graphName, db)
 	} else {
 		fsess = db.Session()
 	}
-	want := req.Workers
+	want := q.workers
 	if want <= 0 {
 		if sp := fsess.Parallelism(); sp > 0 {
 			want = sp
@@ -313,19 +471,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	defer grant.Release()
 
 	s.queries.Add(1)
-	res, err := fsess.QueryOpts(ctx, graphsql.QueryOptions{Workers: grant.Workers}, req.SQL, req.Args...)
-	if err != nil {
-		switch {
-		case timedOut():
-			s.failQuery(w, wire.CodeTimeout, err)
-		case ctx.Err() != nil:
-			s.failQuery(w, wire.CodeCanceled, err)
-		default:
-			s.failQuery(w, wire.CodeSQL, err)
+	opts := graphsql.QueryOptions{Workers: grant.Workers}
+	if q.stream {
+		rows, qerr := fsess.QueryRows(ctx, opts, q.sql, q.args...)
+		// Engine work is over once the cursor exists (it walks a stable
+		// snapshot), so a write purges the cache and the worker grant
+		// goes back NOW — a slow reader draining a big stream must not
+		// pin an in-flight slot and starve admission.
+		if s.cache != nil && invalidatingSQL(q.sql) {
+			s.cache.InvalidateGraph(graphName)
 		}
+		grant.Release()
+		if qerr != nil {
+			s.failExec(w, ctx, timedOut, qerr)
+			return
+		}
+		s.streamRows(w, ctx, timedOut, rows, batch)
+		return
+	}
+	defer grant.Release()
+	// Writes purge the graph's cached results once they finish — the
+	// data-version key already guarantees no stale hit, the purge just
+	// releases the memory eagerly.
+	if s.cache != nil && invalidatingSQL(q.sql) {
+		defer s.cache.InvalidateGraph(graphName)
+	}
+	res, err := fsess.QueryOpts(ctx, opts, q.sql, q.args...)
+	if err != nil {
+		s.failExec(w, ctx, timedOut, err)
 		return
 	}
 	data, err := wire.FromResult(res).Encode()
@@ -333,8 +508,152 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.failQuery(w, wire.CodeInternal, err)
 		return
 	}
+	if key != "" {
+		s.cache.Put(key, graphName, res, data)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
+}
+
+// streamRows writes a chunked response from a live row-batch cursor.
+// The result set is converted and encoded batch by batch — the full
+// response never exists server-side. A cancellation between batches
+// ends the stream with an error trailer.
+func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut func() bool, rows *graphsql.Rows, batch int) {
+	w.Header().Set("Content-Type", wire.StreamContentType)
+	sw := wire.NewStreamWriter(w)
+	// abandon counts a stream the client will never finish reading —
+	// whether the disconnect surfaced as a context cancellation between
+	// batches or as a write error on the dead connection — so streamed
+	// disconnects move the same abandoned/error counters buffered ones
+	// do.
+	abandon := func() {
+		s.errors.Add(1)
+		s.canceled.Add(1)
+	}
+	if err := sw.Header(rows.Columns); err != nil {
+		abandon() // client gone before the first frame
+		return
+	}
+	for {
+		b, err := rows.NextBatch(batch)
+		if err != nil {
+			// The only error source between batches is the context.
+			code := wire.CodeCanceled
+			if timedOut() {
+				code = wire.CodeTimeout
+			}
+			abandon()
+			sw.Fail(code, err)
+			return
+		}
+		if b == nil {
+			break
+		}
+		if err := sw.Batch(b); err != nil {
+			abandon() // client gone mid-stream; nothing left to tell it
+			return
+		}
+	}
+	sw.Trailer()
+}
+
+// streamResult streams an already-materialized (cached) result in the
+// same chunked encoding a live cursor produces. A disconnect counts
+// exactly like one on the live-cursor path, so abandoned-stream
+// metrics don't depend on whether the cache was warm.
+func (s *Server) streamResult(w http.ResponseWriter, res *graphsql.Result, batch int) {
+	w.Header().Set("Content-Type", wire.StreamContentType)
+	sw := wire.NewStreamWriter(w)
+	abandon := func() {
+		s.errors.Add(1)
+		s.canceled.Add(1)
+	}
+	if err := sw.Header(res.Columns); err != nil {
+		abandon()
+		return
+	}
+	for lo := 0; lo < len(res.Rows); lo += batch {
+		hi := lo + batch
+		if hi > len(res.Rows) {
+			hi = len(res.Rows)
+		}
+		if err := sw.Batch(res.Rows[lo:hi]); err != nil {
+			abandon()
+			return
+		}
+	}
+	sw.Trailer()
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	fail := func(status int, code string, err error) {
+		s.errors.Add(1)
+		writeJSON(w, status, &wire.PrepareResponse{Error: &wire.Error{Code: code, Message: err.Error()}})
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		fail(http.StatusBadRequest, wire.CodeInvalidRequest, err)
+		return
+	}
+	req, err := wire.DecodePrepareRequest(body)
+	if err != nil {
+		fail(http.StatusBadRequest, wire.CodeInvalidRequest, err)
+		return
+	}
+	if req.SQL == "" {
+		fail(http.StatusBadRequest, wire.CodeInvalidRequest, errors.New("missing sql"))
+		return
+	}
+	if req.Session == "" {
+		fail(http.StatusBadRequest, wire.CodeInvalidRequest, errors.New("prepare requires a session"))
+		return
+	}
+	graphName := req.Graph
+	if graphName == "" {
+		graphName = s.cfg.DefaultGraph
+	}
+	db, _, ok := s.reg.Resolve(graphName)
+	if !ok {
+		fail(http.StatusNotFound, wire.CodeUnknownGraph, fmt.Errorf("graph %q is not loaded", graphName))
+		return
+	}
+	ss := s.session(req.Session)
+	info, err := ss.bind(graphName, db).Prepare(req.SQL, req.Args...)
+	if err != nil {
+		fail(http.StatusUnprocessableEntity, wire.CodeSQL, err)
+		return
+	}
+	id := ss.registerStmt(graphName, req.SQL)
+	writeJSON(w, http.StatusOK, &wire.PrepareResponse{StatementID: id, NumParams: info.NumParams})
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		s.failQuery(w, wire.CodeInvalidRequest, err)
+		return
+	}
+	req, err := wire.DecodeExecuteRequest(body)
+	if err != nil {
+		s.failQuery(w, wire.CodeInvalidRequest, err)
+		return
+	}
+	if req.Session == "" || req.StatementID == "" {
+		s.failQuery(w, wire.CodeInvalidRequest, errors.New("execute requires session and statement_id"))
+		return
+	}
+	st, ok := s.session(req.Session).stmt(req.StatementID)
+	if !ok {
+		s.failQuery(w, wire.CodeInvalidRequest,
+			fmt.Errorf("unknown statement id %q (never prepared, or its session was evicted)", req.StatementID))
+		return
+	}
+	s.runQuery(w, r, querySpec{
+		graph: st.graph, session: req.Session, sql: st.sql, args: req.Args,
+		workers: req.Workers, timeoutMillis: req.TimeoutMillis,
+		stream: req.Stream, batchRows: req.BatchRows,
+	})
 }
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
@@ -355,6 +674,11 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusUnprocessableEntity, &wire.LoadResponse{Graph: name, Error: &wire.Error{Code: wire.CodeSQL, Message: err.Error()}})
 		return
 	}
+	// The new generation can never hit the old entries (the key
+	// changed); purging just frees their memory immediately.
+	if s.cache != nil {
+		s.cache.InvalidateGraph(name)
+	}
 	s.loads.Add(1)
 	writeJSON(w, http.StatusOK, &wire.LoadResponse{Graph: name, Generation: gen, Tables: tables})
 }
@@ -368,6 +692,7 @@ type StatsResponse struct {
 	Loads         uint64            `json:"loads"`
 	Sessions      int               `json:"sessions"`
 	Admission     AdmissionSnapshot `json:"admission"`
+	Cache         *CacheSnapshot    `json:"cache,omitempty"`
 	Graphs        []GraphInfo       `json:"graphs"`
 }
 
@@ -375,7 +700,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.sessMu.Lock()
 	sessions := len(s.sessions)
 	s.sessMu.Unlock()
-	writeJSON(w, http.StatusOK, &StatsResponse{
+	resp := &StatsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Queries:       s.queries.Load(),
 		Errors:        s.errors.Load(),
@@ -384,5 +709,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Sessions:      sessions,
 		Admission:     s.adm.Snapshot(),
 		Graphs:        s.reg.Info(),
-	})
+	}
+	if s.cache != nil {
+		cs := s.cache.Snapshot()
+		resp.Cache = &cs
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

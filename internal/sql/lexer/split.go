@@ -1,0 +1,46 @@
+package lexer
+
+import "strings"
+
+// SplitStatements splits a script at statement-separating semicolons
+// by tokenizing with the lexer itself, so every quoting and comment
+// form — string literals with ” escapes, "quoted" identifiers with ""
+// escapes, -- and /* */ comments — delimits exactly as it does when
+// the script is parsed; there is no second, hand-rolled scanner to
+// drift out of sync. Statement texts are returned verbatim (trimmed,
+// separators dropped). Segments with no tokens at all — empty, or
+// comment-only, which a single-statement parse would reject even
+// though ParseAll tolerates them — are skipped. A script whose tail
+// fails to tokenize is returned with that tail as one final statement,
+// so the parser reports the real error to the caller.
+func SplitStatements(src string) []string {
+	var out []string
+	tokens := 0 // tokens seen since the last separator
+	flush := func(lo, hi int) {
+		if s := strings.TrimSpace(src[lo:hi]); s != "" && tokens > 0 {
+			out = append(out, s)
+		}
+		tokens = 0
+	}
+	l := New(src)
+	start := 0
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			// Undecodable tail: hand it over verbatim for the error.
+			tokens++
+			flush(start, len(src))
+			return out
+		}
+		if tok.Type == EOF {
+			flush(start, len(src))
+			return out
+		}
+		if tok.Type == Symbol && tok.Text == ";" {
+			flush(start, tok.Pos)
+			start = tok.Pos + 1
+			continue
+		}
+		tokens++
+	}
+}

@@ -1,0 +1,35 @@
+package lexer
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSplitStatements holds the splitter to the same
+// lexical structure the engine's lexer uses: semicolons inside string
+// literals (” escapes included), -- line comments and /* */ block
+// comments never split, and comment apostrophes never open a literal.
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"SELECT 1; SELECT 2;", []string{"SELECT 1", "SELECT 2"}},
+		{"SELECT 'a;b'; SELECT 2", []string{"SELECT 'a;b'", "SELECT 2"}},
+		{"SELECT 'it''s; fine'", []string{"SELECT 'it''s; fine'"}},
+		{"-- can't touch this\nSELECT 1;\nSELECT 2;", []string{"-- can't touch this\nSELECT 1", "SELECT 2"}},
+		{"/* no; split 'here */ SELECT 1; SELECT 2", []string{"/* no; split 'here */ SELECT 1", "SELECT 2"}},
+		{"SELECT 1 -- trailing; comment\n; SELECT 2", []string{"SELECT 1 -- trailing; comment", "SELECT 2"}},
+		{";;  ;", nil},
+		{"SELECT 1;\n-- done\n", []string{"SELECT 1"}},
+		{"/* only a comment */; SELECT 2", []string{"SELECT 2"}},
+		{"/* unterminated; never splits", []string{"/* unterminated; never splits"}},
+		{`SELECT "a;b" FROM t; SELECT 2`, []string{`SELECT "a;b" FROM t`, "SELECT 2"}},
+		{`SELECT "a""x;y" FROM t; SELECT 2`, []string{`SELECT "a""x;y" FROM t`, "SELECT 2"}},
+	}
+	for _, c := range cases {
+		if got := SplitStatements(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitStatements(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -101,6 +101,30 @@ func (c *Chunk) GatherP(rows []int, workers int) *Chunk {
 	return out
 }
 
+// Slice returns a zero-copy view of rows [lo, hi); see Column.Slice.
+func (c *Chunk) Slice(lo, hi int) *Chunk {
+	out := &Chunk{Schema: c.Schema, Cols: make([]*Column, len(c.Cols))}
+	for j, col := range c.Cols {
+		out.Cols[j] = col.Slice(lo, hi)
+	}
+	return out
+}
+
+// Snapshot returns a stable zero-copy view of the chunk's current rows
+// that can outlive the lock it was taken under: the column slice and
+// every column header are copied (so swapping a column pointer in the
+// source, as DELETE and reloads do, cannot reach the view) while the
+// backing arrays are shared length-clamped (so in-place appends land
+// beyond the view); see Column.Snapshot. The row-batch cursor takes one
+// before the read lock is released.
+func (c *Chunk) Snapshot() *Chunk {
+	out := &Chunk{Schema: c.Schema, Cols: make([]*Column, len(c.Cols))}
+	for j, col := range c.Cols {
+		out.Cols[j] = col.Snapshot()
+	}
+	return out
+}
+
 // Extend appends every row of o, which must share c's column kinds, to
 // c.
 func (c *Chunk) Extend(o *Chunk) {

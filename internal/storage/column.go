@@ -169,6 +169,54 @@ func (c *Column) Get(i int) types.Value {
 	}
 }
 
+// Slice returns a read-only view of rows [lo, hi) sharing c's backing
+// arrays; the capacities are clamped so an append through the view can
+// never write into c. Used by the row-batch cursor to hand out result
+// windows without copying.
+func (c *Column) Slice(lo, hi int) *Column {
+	out := &Column{Kind: c.Kind, n: hi - lo}
+	switch c.Kind {
+	case types.KindFloat:
+		out.Floats = c.Floats[lo:hi:hi]
+	case types.KindString:
+		out.Strs = c.Strs[lo:hi:hi]
+	case types.KindPath:
+		out.Paths = c.Paths[lo:hi:hi]
+	default:
+		out.Ints = c.Ints[lo:hi:hi]
+	}
+	if c.Nulls != nil {
+		out.Nulls = c.Nulls[lo:hi:hi]
+	}
+	return out
+}
+
+// Snapshot returns a read-only view of the column's current rows that
+// stays stable while the original keeps growing: the backing arrays are
+// shared (no copy), but the view's length and capacity are clamped to
+// the current row count, so later in-place appends land beyond it and
+// append-triggered reallocations move the writer to a fresh array. The
+// snapshot is NOT isolated from in-place overwrites of existing rows —
+// the engine never does that (DELETE and reloads swap whole columns).
+func (c *Column) Snapshot() *Column {
+	n := c.n
+	out := &Column{Kind: c.Kind, n: n}
+	switch c.Kind {
+	case types.KindFloat:
+		out.Floats = c.Floats[:n:n]
+	case types.KindString:
+		out.Strs = c.Strs[:n:n]
+	case types.KindPath:
+		out.Paths = c.Paths[:n:n]
+	default:
+		out.Ints = c.Ints[:n:n]
+	}
+	if c.Nulls != nil {
+		out.Nulls = c.Nulls[:n:n]
+	}
+	return out
+}
+
 // Gather returns a new column holding the entries of c at the given
 // row indices, in order.
 func (c *Column) Gather(rows []int) *Column {
@@ -343,15 +391,6 @@ func ColumnFromFloats(fs []float64) *Column {
 // KindPath column, taking ownership of the slice.
 func ColumnFromPaths(ps []*types.Path) *Column {
 	return &Column{Kind: types.KindPath, Paths: ps, n: len(ps)}
-}
-
-// Slice returns a copy of entries [lo, hi).
-func (c *Column) Slice(lo, hi int) *Column {
-	rows := make([]int, 0, hi-lo)
-	for i := lo; i < hi; i++ {
-		rows = append(rows, i)
-	}
-	return c.Gather(rows)
 }
 
 // ConstColumn builds a column of n copies of value v.

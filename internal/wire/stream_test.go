@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"graphsql"
+)
+
+// TestStreamRoundTrip writes a result as chunked frames and folds it
+// back, requiring the folded encoding to be byte-identical to the
+// buffered encoding of the same result.
+func TestStreamRoundTrip(t *testing.T) {
+	res := &graphsql.Result{
+		Columns: []string{"id", "score", "name", "ok", "day", "path", "missing"},
+		Rows: [][]any{
+			{int64(1), 1.5, "a", true, time.Date(2017, 5, 19, 0, 0, 0, 0, time.UTC),
+				&graphsql.Path{Columns: []string{"s", "d"}, Rows: [][]any{{int64(1), int64(2)}}}, nil},
+			{int64(2), 2.25, "b", false, time.Date(2017, 5, 20, 0, 0, 0, 0, time.UTC),
+				&graphsql.Path{Columns: []string{"s", "d"}}, nil},
+			{int64(3), -0.5, "c", true, time.Date(2017, 5, 21, 0, 0, 0, 0, time.UTC), nil, nil},
+		},
+	}
+	want, err := FromResult(res).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	if err := sw.Header(res.Columns); err != nil {
+		t.Fatal(err)
+	}
+	// Two-row then one-row batches exercise multi-frame folding.
+	if err := sw.Batch(res.Rows[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Batch(res.Rows[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Trailer(); err != nil {
+		t.Fatal(err)
+	}
+
+	folded, batches, err := FoldStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != 2 {
+		t.Fatalf("expected 2 batch frames, got %d", batches)
+	}
+	got, err := folded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("folded stream differs from buffered encoding\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestStreamErrorTrailer folds a stream cut short by an error into the
+// buffered error shape, discarding the partial rows.
+func TestStreamErrorTrailer(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	if err := sw.Header([]string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Batch([][]any{{int64(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Fail(CodeCanceled, errors.New("client went away")); err != nil {
+		t.Fatal(err)
+	}
+	folded, batches, err := FoldStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != 1 {
+		t.Fatalf("expected 1 batch frame, got %d", batches)
+	}
+	if folded.Error == nil || folded.Error.Code != CodeCanceled || len(folded.Rows) != 0 {
+		t.Fatalf("unexpected fold of error stream: %+v", folded)
+	}
+}
+
+// TestStreamEmptyResult: header + trailer only, zero batches.
+func TestStreamEmptyResult(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	if err := sw.Header([]string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Batch(nil); err != nil { // skipped, not a frame
+		t.Fatal(err)
+	}
+	if err := sw.Trailer(); err != nil {
+		t.Fatal(err)
+	}
+	folded, batches, err := FoldStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != 0 || folded.RowCount != 0 || folded.Error != nil {
+		t.Fatalf("unexpected fold: %+v (%d batches)", folded, batches)
+	}
+}
+
+// TestStreamTruncated: a stream without a trailer must not fold.
+func TestStreamTruncated(t *testing.T) {
+	in := `{"columns":["x"]}` + "\n" + `{"rows":[[1]]}` + "\n"
+	if _, _, err := FoldStream(strings.NewReader(in)); err == nil {
+		t.Fatal("truncated stream folded without error")
+	}
+	// A row_count that disagrees with the delivered rows is rejected.
+	in += `{"row_count":7}` + "\n"
+	if _, _, err := FoldStream(strings.NewReader(in)); err == nil {
+		t.Fatal("row_count mismatch folded without error")
+	}
+}

@@ -13,6 +13,12 @@
 //	VARCHAR / BOOLEAN -> JSON string / bool
 //	DATE              -> "YYYY-MM-DD" string
 //	nested-table path -> {"columns": [...], "rows": [[...], ...]}
+//
+// Large results can alternatively be streamed as a sequence of
+// newline-delimited frames (header, row batches, trailer) with the
+// identical cell encoding — see stream.go — and hot statements can be
+// registered once and re-executed by id via the PrepareRequest /
+// ExecuteRequest payloads.
 package wire
 
 import (
@@ -68,6 +74,53 @@ type QueryRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// TimeoutMillis bounds execution; 0 inherits the server default.
 	TimeoutMillis int `json:"timeout_ms,omitempty"`
+	// Stream selects the chunked NDJSON response encoding (see
+	// stream.go) instead of one buffered QueryResponse object.
+	Stream bool `json:"stream,omitempty"`
+	// BatchRows caps the rows per streamed batch frame (0 =
+	// DefaultBatchRows, clamped to MaxBatchRows).
+	BatchRows int `json:"batch_rows,omitempty"`
+}
+
+// PrepareRequest is the POST /prepare payload: parse (and, for SELECT,
+// bind and rewrite) a statement into the named session's plan cache and
+// register it under a server-assigned statement id. Args optionally
+// supply representative values for ? parameter kind inference.
+type PrepareRequest struct {
+	// Graph names the target graph; empty means the server's default.
+	Graph string `json:"graph,omitempty"`
+	// Session names the owning session; required (prepared statements
+	// live in session state).
+	Session string `json:"session"`
+	// SQL is the statement text (? placeholders bind /execute args).
+	SQL string `json:"sql"`
+	// Args are optional representative arguments for kind inference.
+	Args []any `json:"args,omitempty"`
+}
+
+// PrepareResponse reports a registered statement.
+type PrepareResponse struct {
+	StatementID string `json:"statement_id,omitempty"`
+	NumParams   int    `json:"num_params"`
+	Error       *Error `json:"error,omitempty"`
+}
+
+// ExecuteRequest is the POST /execute payload: run a statement
+// registered by /prepare. The response is a QueryResponse (or a
+// chunked stream when Stream is set), exactly like POST /query.
+type ExecuteRequest struct {
+	// Session names the owning session; required.
+	Session string `json:"session"`
+	// StatementID is the id /prepare returned.
+	StatementID string `json:"statement_id"`
+	// Args bind the statement's ? placeholders.
+	Args []any `json:"args,omitempty"`
+	// Workers, TimeoutMillis, Stream and BatchRows behave exactly as on
+	// QueryRequest.
+	Workers       int  `json:"workers,omitempty"`
+	TimeoutMillis int  `json:"timeout_ms,omitempty"`
+	Stream        bool `json:"stream,omitempty"`
+	BatchRows     int  `json:"batch_rows,omitempty"`
 }
 
 // QueryResponse is the POST /query result payload. Exactly one of
@@ -160,6 +213,36 @@ func encodeCell(v any) any {
 // json.Number and normalized to int64 when integral.
 func DecodeRequest(data []byte) (*QueryRequest, error) {
 	var req QueryRequest
+	if err := unmarshalUseNumber(data, &req); err != nil {
+		return nil, err
+	}
+	args, err := NormalizeArgs(req.Args)
+	if err != nil {
+		return nil, err
+	}
+	req.Args = args
+	return &req, nil
+}
+
+// DecodePrepareRequest unmarshals a PrepareRequest with the same
+// integer-preserving argument handling as DecodeRequest.
+func DecodePrepareRequest(data []byte) (*PrepareRequest, error) {
+	var req PrepareRequest
+	if err := unmarshalUseNumber(data, &req); err != nil {
+		return nil, err
+	}
+	args, err := NormalizeArgs(req.Args)
+	if err != nil {
+		return nil, err
+	}
+	req.Args = args
+	return &req, nil
+}
+
+// DecodeExecuteRequest unmarshals an ExecuteRequest with the same
+// integer-preserving argument handling as DecodeRequest.
+func DecodeExecuteRequest(data []byte) (*ExecuteRequest, error) {
+	var req ExecuteRequest
 	if err := unmarshalUseNumber(data, &req); err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"graphsql/internal/engine"
+	"graphsql/internal/storage"
 	"graphsql/internal/types"
 )
 
@@ -76,20 +77,10 @@ func (s *Session) QueryOpts(ctx context.Context, qo QueryOptions, sql string, ar
 
 	db := s.db
 	db.mu.RLock()
-	key := planKey(sql, params)
-	p := s.plans[key]
-	if p == nil || p.Stale(db.eng, params) {
-		p, err = db.eng.Prepare(sql, params...)
-		if err != nil {
-			db.mu.RUnlock()
-			return nil, err
-		}
-		if p.IsSelect() || p.IsSet() {
-			if len(s.plans) >= maxSessionPlans {
-				s.plans = make(map[string]*engine.Prepared)
-			}
-			s.plans[key] = p
-		}
+	p, err := s.resolvePlanLocked(sql, params)
+	if err != nil {
+		db.mu.RUnlock()
+		return nil, err
 	}
 	if p.IsSelect() || p.IsSet() {
 		// Reads — and session-scoped SETs, which never touch the engine
@@ -117,6 +108,129 @@ func (s *Session) QueryOpts(ctx context.Context, qo QueryOptions, sql string, ar
 		return &Result{}, nil
 	}
 	return chunkToResult(chunk), nil
+}
+
+// QueryRows is QueryOpts returning an incremental row-batch cursor
+// instead of a fully converted Result; see DB.QueryRowsCtx. SELECTs
+// release the read lock before returning (the cursor walks a stable
+// chunk snapshot), and the prepared-plan cache is shared with
+// Query/QueryOpts.
+func (s *Session) QueryRows(ctx context.Context, qo QueryOptions, sql string, args ...any) (*Rows, error) {
+	params, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	override := s.parallelism
+	if qo.Workers > 0 {
+		override = qo.Workers
+	}
+	opts := &engine.ExecOptions{Parallelism: override, OnSet: s.applySet}
+
+	db := s.db
+	db.mu.RLock()
+	p, err := s.resolvePlanLocked(sql, params)
+	if err != nil {
+		db.mu.RUnlock()
+		return nil, err
+	}
+	if p.IsSelect() || p.IsSet() {
+		chunk, err := db.eng.ExecPrepared(ctx, p, opts, params...)
+		if err != nil {
+			db.mu.RUnlock()
+			return nil, err
+		}
+		var snap *storage.Chunk
+		if chunk != nil {
+			snap = chunk.Snapshot()
+		}
+		db.mu.RUnlock()
+		return newRows(ctx, snap), nil
+	}
+	db.mu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	chunk, err := db.eng.ExecPrepared(ctx, p, opts, params...)
+	if err != nil {
+		return nil, err
+	}
+	if chunk == nil {
+		return newRows(ctx, nil), nil
+	}
+	return newRows(ctx, chunk.Snapshot()), nil
+}
+
+// StmtInfo describes a prepared statement; see Session.Prepare.
+type StmtInfo struct {
+	// NumParams is how many ? placeholders the statement uses.
+	NumParams int
+	// IsSelect reports whether the statement is a query.
+	IsSelect bool
+}
+
+// Prepare parses — and, for SELECT, binds and rewrites — a statement
+// into the session's plan cache ahead of execution, so the first
+// Query/QueryOpts/QueryRows with the same text (and argument kinds)
+// skips parse, bind and rewrite. args supply representative values for
+// kind inference when the statement uses ? placeholders; preparing with
+// no args and executing with typed ones re-prepares once on first use.
+// This is what the gsqld wire-level POST /prepare endpoint rides.
+func (s *Session) Prepare(sql string, args ...any) (StmtInfo, error) {
+	params, err := bindArgs(args)
+	if err != nil {
+		return StmtInfo{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	// Re-preparing a cached statement costs no parse at all.
+	if p := s.plans[planKey(sql, params)]; p != nil && !p.Stale(s.db.eng, params) {
+		return StmtInfo{NumParams: p.NumParams, IsSelect: p.IsSelect()}, nil
+	}
+	// Without a representative value for every placeholder the plan
+	// cannot be bound yet (binding infers types from the argument
+	// kinds); report the parse-level metadata and let the first typed
+	// execution prepare — and cache — the plan. (A first-time prepare
+	// with sufficient args parses twice — describe, then bind — a
+	// one-time cost per statement.)
+	n, isSel, err := s.db.eng.Describe(sql)
+	if err != nil {
+		return StmtInfo{}, err
+	}
+	if len(params) < n {
+		return StmtInfo{NumParams: n, IsSelect: isSel}, nil
+	}
+	p, err := s.resolvePlanLocked(sql, params)
+	if err != nil {
+		return StmtInfo{}, err
+	}
+	return StmtInfo{NumParams: p.NumParams, IsSelect: p.IsSelect()}, nil
+}
+
+// resolvePlanLocked returns the cached plan of (sql, params kinds),
+// preparing and caching it if absent or stale. Both s.mu and the DB
+// read lock must be held.
+func (s *Session) resolvePlanLocked(sql string, params []types.Value) (*engine.Prepared, error) {
+	db := s.db
+	key := planKey(sql, params)
+	p := s.plans[key]
+	if p == nil || p.Stale(db.eng, params) {
+		var err error
+		p, err = db.eng.Prepare(sql, params...)
+		if err != nil {
+			return nil, err
+		}
+		if p.IsSelect() || p.IsSet() {
+			if len(s.plans) >= maxSessionPlans {
+				s.plans = make(map[string]*engine.Prepared)
+			}
+			s.plans[key] = p
+		}
+	}
+	return p, nil
 }
 
 // applySet scopes SET statements to the session; called by the engine
