@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
@@ -40,6 +41,8 @@ func main() {
 	replays := flag.Int("replays", 3, "cached replays in the speedup measurement")
 	minSpeedup := flag.Float64("min-speedup", 1.5, "required cached-vs-uncached replay speedup")
 	disconnect := flag.Bool("disconnect", true, "disconnect one client mid-query")
+	chaos := flag.Bool("chaos", false,
+		"chaos mode: the server runs with fault injection armed — tolerate structured errors, skip the speedup and disconnect phases, assert the process keeps serving")
 	flag.Parse()
 
 	base := *addr
@@ -55,19 +58,31 @@ func main() {
 		fatal("load: %v", err)
 	}
 
-	speedup, cold, warm, err := b.measureCacheSpeedup(*replays)
-	if err != nil {
-		fatal("speedup measurement: %v", err)
+	b.chaos = *chaos
+
+	var speedup float64
+	if *chaos {
+		// Fault-injected latency and shed queries make timing meaningless,
+		// and a deliberate mid-flight disconnect would be indistinguishable
+		// from a fault — both phases are chaos-mode no-ops.
+		fmt.Println("chaos mode: speedup and disconnect phases skipped")
+	} else {
+		var cold, warm time.Duration
+		var err error
+		speedup, cold, warm, err = b.measureCacheSpeedup(*replays)
+		if err != nil {
+			fatal("speedup measurement: %v", err)
+		}
+		fmt.Printf("corpus replay: uncached %v, cached avg %v -> speedup %.1fx\n", cold, warm, speedup)
 	}
-	fmt.Printf("corpus replay: uncached %v, cached avg %v -> speedup %.1fx\n", cold, warm, speedup)
 
 	if err := b.concurrentLoad(*clients, *rounds); err != nil {
 		fatal("load phase: %v", err)
 	}
-	fmt.Printf("load phase: %d clients x %d rounds, %d requests, 5xx: %d\n",
-		*clients, *rounds, b.requests.n(), b.server5xx.n())
+	fmt.Printf("load phase: %d clients x %d rounds, %d requests, 5xx: %d, structured errors: %d, overload retries: %d\n",
+		*clients, *rounds, b.requests.n(), b.server5xx.n(), b.structured.n(), b.retries.n())
 
-	if *disconnect {
+	if *disconnect && !*chaos {
 		if err := b.disconnectMidFlight(); err != nil {
 			fatal("disconnect phase: %v", err)
 		}
@@ -88,12 +103,22 @@ func main() {
 		}
 		fmt.Printf("%s  %s\n", status, fmt.Sprintf(format, args...))
 	}
-	check(speedup >= *minSpeedup, "cached replay speedup %.1fx >= %.1fx", speedup, *minSpeedup)
-	check(mf.value("gsqld_cache_hits_total") > 0, "gsqld_cache_hits_total = %g > 0", mf.value("gsqld_cache_hits_total"))
-	check(mf.value("gsqld_queries_abandoned_total") >= 1 || !*disconnect,
-		"gsqld_queries_abandoned_total = %g >= 1", mf.value("gsqld_queries_abandoned_total"))
-	check(b.server5xx.n() == 0, "client-observed 5xx responses = %d", b.server5xx.n())
-	check(mf.responses5xx() == 0, "server-reported 5xx responses = %g", mf.responses5xx())
+	if *chaos {
+		// Under injected faults the contract shrinks to containment: the
+		// process keeps serving (healthz still answers 200) and not one
+		// response was unstructured — errors arrived as typed payloads or
+		// stream error trailers, never as torn streams or blank 500s.
+		check(b.waitHealthy(5*time.Second) == nil, "healthz answers 200 after the chaos run")
+		check(b.unstructured.n() == 0, "unstructured responses = %d", b.unstructured.n())
+		fmt.Printf("chaos run: gsqld_panics_total = %g\n", mf.value("gsqld_panics_total"))
+	} else {
+		check(speedup >= *minSpeedup, "cached replay speedup %.1fx >= %.1fx", speedup, *minSpeedup)
+		check(mf.value("gsqld_cache_hits_total") > 0, "gsqld_cache_hits_total = %g > 0", mf.value("gsqld_cache_hits_total"))
+		check(mf.value("gsqld_queries_abandoned_total") >= 1 || !*disconnect,
+			"gsqld_queries_abandoned_total = %g >= 1", mf.value("gsqld_queries_abandoned_total"))
+		check(b.server5xx.n() == 0, "client-observed 5xx responses = %d", b.server5xx.n())
+		check(mf.responses5xx() == 0, "server-reported 5xx responses = %g", mf.responses5xx())
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -120,9 +145,13 @@ func (c *counter) n() int {
 type bench struct {
 	base  string
 	graph string
+	chaos bool
 
-	requests  counter
-	server5xx counter
+	requests     counter
+	server5xx    counter
+	structured   counter // non-200s carrying a typed error payload
+	unstructured counter // non-200s (or torn streams) without one
+	retries      counter // overload retries taken by queryRetry
 }
 
 func (b *bench) waitHealthy(timeout time.Duration) error {
@@ -159,29 +188,98 @@ func (b *bench) loadCorpus() error {
 	return nil
 }
 
-// query posts one statement and returns the HTTP status; the body is
-// drained and discarded. Request errors return status 0.
-func (b *bench) query(ctx context.Context, req *wire.QueryRequest) (int, error) {
+// queryResult classifies one response beyond the bare status code:
+// overload responses carry the server's Retry-After hint, failures are
+// split into structured (typed error payload or stream error trailer)
+// and unstructured, and a 200 stream that cannot be folded back counts
+// as torn.
+type queryResult struct {
+	status     int
+	retryAfter time.Duration
+	structured bool // error arrived as a typed payload / error trailer
+	streamErr  bool // 200 stream ended in an error trailer
+	torn       bool // 200 stream without a valid trailer
+}
+
+// failed reports whether the response was anything but a clean success.
+func (q queryResult) failed() bool {
+	return q.status != http.StatusOK || q.streamErr || q.torn
+}
+
+// query posts one statement and classifies the response. Request
+// errors return status 0.
+func (b *bench) query(ctx context.Context, req *wire.QueryRequest) (queryResult, error) {
 	req.Graph = b.graph
 	payload, err := json.Marshal(req)
 	if err != nil {
-		return 0, err
+		return queryResult{}, err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/query", bytes.NewReader(payload))
 	if err != nil {
-		return 0, err
+		return queryResult{}, err
 	}
 	resp, err := http.DefaultClient.Do(hreq)
 	if err != nil {
-		return 0, err
+		return queryResult{}, err
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return queryResult{}, err
+	}
 	b.requests.add()
+	qr := queryResult{status: resp.StatusCode}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		qr.retryAfter = time.Duration(secs) * time.Second
+	}
 	if resp.StatusCode >= 500 {
 		b.server5xx.add()
 	}
-	return resp.StatusCode, nil
+	switch {
+	case resp.StatusCode != http.StatusOK:
+		var wr wire.QueryResponse
+		qr.structured = json.Unmarshal(body, &wr) == nil && wr.Error != nil
+	case req.Stream && strings.HasPrefix(resp.Header.Get("Content-Type"), wire.StreamContentType):
+		folded, _, ferr := wire.FoldStream(bytes.NewReader(body))
+		switch {
+		case ferr != nil:
+			qr.torn = true
+		case folded.Error != nil:
+			qr.streamErr, qr.structured = true, true
+		}
+	}
+	return qr, nil
+}
+
+// queryRetry posts with jittered exponential backoff on overload
+// responses (429 and 503): the wait starts at the server's Retry-After
+// hint when one is present (queue_full and queue_timeout always carry
+// it) or the current backoff step otherwise, and sleeps a uniform
+// random fraction in [wait/2, wait] so synchronized clients do not
+// re-arrive as a wave.
+func (b *bench) queryRetry(ctx context.Context, req *wire.QueryRequest) (queryResult, error) {
+	const maxAttempts = 5
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		qr, err := b.query(ctx, req)
+		overloaded := err == nil &&
+			(qr.status == http.StatusTooManyRequests || qr.status == http.StatusServiceUnavailable)
+		if !overloaded || attempt == maxAttempts {
+			return qr, err
+		}
+		wait := backoff
+		if qr.retryAfter > wait {
+			wait = qr.retryAfter
+		}
+		b.retries.add()
+		jittered := wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1))
+		select {
+		case <-time.After(jittered):
+		case <-ctx.Done():
+			return qr, ctx.Err()
+		}
+		backoff *= 2
+	}
 }
 
 // measureCacheSpeedup replays the corpus once cold (every SELECT a
@@ -192,12 +290,12 @@ func (b *bench) measureCacheSpeedup(replays int) (speedup float64, cold, warmAvg
 	replay := func() (time.Duration, error) {
 		start := time.Now()
 		for _, q := range queries {
-			status, err := b.query(context.Background(), &wire.QueryRequest{SQL: q})
+			qr, err := b.queryRetry(context.Background(), &wire.QueryRequest{SQL: q})
 			if err != nil {
 				return 0, err
 			}
-			if status != http.StatusOK {
-				return 0, fmt.Errorf("query status %d: %s", status, q)
+			if qr.status != http.StatusOK {
+				return 0, fmt.Errorf("query status %d: %s", qr.status, q)
 			}
 		}
 		return time.Since(start), nil
@@ -224,11 +322,29 @@ func (b *bench) measureCacheSpeedup(replays int) (speedup float64, cold, warmAvg
 // concurrentLoad runs the mixed corpus: every client interleaves
 // repeated corpus queries (cache hits after the first round) with
 // unique parameterized lookups (cache misses), half of them through a
-// session so prepared plans engage, plus streamed replays.
+// session so prepared plans engage, plus streamed replays. In chaos
+// mode a failed response is tolerated — but only a structured one; a
+// torn stream or a blank 500 fails the run even there.
 func (b *bench) concurrentLoad(clients, rounds int) error {
 	queries := testutil.Queries()
 	errs := make(chan error, clients)
 	var wg sync.WaitGroup
+	exec := func(c int, req *wire.QueryRequest) error {
+		qr, err := b.queryRetry(context.Background(), req)
+		if err != nil {
+			return fmt.Errorf("client %d: transport: %w", c, err)
+		}
+		if !qr.failed() {
+			return nil
+		}
+		if b.chaos && qr.structured {
+			b.structured.add()
+			return nil
+		}
+		b.unstructured.add()
+		return fmt.Errorf("client %d: status %d (structured=%v torn=%v) on %s",
+			c, qr.status, qr.structured, qr.torn, req.SQL)
+	}
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -243,27 +359,17 @@ func (b *bench) concurrentLoad(clients, rounds int) error {
 					if (i+r)%5 == 0 {
 						req.Stream = true
 					}
-					status, err := b.query(context.Background(), req)
-					if err != nil {
-						errs <- fmt.Errorf("client %d: %w", c, err)
-						return
-					}
-					if status != http.StatusOK {
-						errs <- fmt.Errorf("client %d: status %d on %s", c, status, q)
+					if err := exec(c, req); err != nil {
+						errs <- err
 						return
 					}
 					// A unique point lookup: distinct args -> cache miss.
-					status, err = b.query(context.Background(), &wire.QueryRequest{
+					if err := exec(c, &wire.QueryRequest{
 						SQL:     `SELECT COUNT(*) FROM knows WHERE src >= ? AND dst >= ?`,
 						Args:    []any{c*1000 + r*100 + i, i},
 						Session: session,
-					})
-					if err != nil {
-						errs <- fmt.Errorf("client %d: %w", c, err)
-						return
-					}
-					if status != http.StatusOK {
-						errs <- fmt.Errorf("client %d: unique lookup status %d", c, status)
+					}); err != nil {
+						errs <- err
 						return
 					}
 				}
@@ -290,8 +396,8 @@ func (b *bench) disconnectMidFlight() error {
 	               WHERE p1.id >= ? AND p1.id REACHES p2.id OVER knows EDGE (src, dst)`
 	// Reference timing for the cancel delay.
 	start := time.Now()
-	if status, err := b.query(context.Background(), &wire.QueryRequest{SQL: heavy, Args: []any{-1}}); err != nil || status != http.StatusOK {
-		return fmt.Errorf("reference heavy query: status %d err %v", status, err)
+	if qr, err := b.query(context.Background(), &wire.QueryRequest{SQL: heavy, Args: []any{-1}}); err != nil || qr.status != http.StatusOK {
+		return fmt.Errorf("reference heavy query: status %d err %v", qr.status, err)
 	}
 	full := time.Since(start)
 
@@ -302,9 +408,9 @@ func (b *bench) disconnectMidFlight() error {
 			return err
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), delay)
-		status, _ := b.query(ctx, &wire.QueryRequest{SQL: heavy, Args: []any{attempt}})
+		qr, _ := b.query(ctx, &wire.QueryRequest{SQL: heavy, Args: []any{attempt}})
 		cancel()
-		if status == 0 { // request aborted client-side: the disconnect happened
+		if qr.status == 0 { // request aborted client-side: the disconnect happened
 			// Give the server a moment to observe it and free the slot.
 			deadline := time.Now().Add(5 * time.Second)
 			for time.Now().Before(deadline) {

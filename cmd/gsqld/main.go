@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"graphsql/internal/fault"
 	"graphsql/internal/server"
 )
 
@@ -49,9 +50,14 @@ func main() {
 	totalWorkers := flag.Int("workers", 0, "total worker budget divided across queries (0 = GOMAXPROCS)")
 	perQuery := flag.Int("per-query-workers", 0, "per-query worker cap (0 = total budget)")
 	timeout := flag.Duration("timeout", 0, "per-query execution timeout (0 = none)")
+	queueWait := flag.Duration("queue-wait", 0, "max time a query may wait for admission before a 503 queue_timeout with Retry-After (0 = wait forever)")
 	cacheEntries := flag.Int("cache-entries", 0, "result-cache entry cap (0 = 512, negative disables the cache)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "result-cache byte budget (0 = 64 MiB)")
 	flag.Parse()
+
+	if fault.Enabled() {
+		log.Printf("gsqld: FAULT INJECTION ARMED via GSQLD_FAULTS=%q — not for production", os.Getenv("GSQLD_FAULTS"))
+	}
 
 	srv, err := server.New(server.Config{
 		DefaultGraph:    *graphName,
@@ -61,6 +67,7 @@ func main() {
 		TotalWorkers:    *totalWorkers,
 		PerQueryWorkers: *perQuery,
 		QueryTimeout:    *timeout,
+		QueueWait:       *queueWait,
 		CacheEntries:    *cacheEntries,
 		CacheBytes:      *cacheBytes,
 	})

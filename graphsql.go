@@ -96,6 +96,16 @@ type DB struct {
 	eng *engine.Engine
 }
 
+// QueryPanicError is the error a statement returns when its execution
+// panicked — on the calling goroutine or inside a parallel worker. The
+// engine converts the panic at its boundary (value + worker stack
+// preserved), so callers observe it as an ordinary error on the normal
+// return path; the facade's locks are released by the usual defers and
+// the DB stays usable. Containment, not rollback: a panicking write
+// may be partially applied, exactly like a write that fails with a
+// regular error. Match with errors.As.
+type QueryPanicError = engine.QueryPanicError
+
 // Option configures a DB at Open time.
 type Option func(*DB)
 

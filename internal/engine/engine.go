@@ -184,7 +184,9 @@ func (e *Engine) Describe(sql string) (numParams int, isSelect bool, err error) 
 // Prepare parses and, for SELECT statements, binds and rewrites sql.
 // params supply the argument kinds referenced during binding; their
 // values are not captured (they are re-supplied at ExecPrepared time).
-func (e *Engine) Prepare(sql string, params ...types.Value) (*Prepared, error) {
+// A panic during binding or rewrite surfaces as a *QueryPanicError.
+func (e *Engine) Prepare(sql string, params ...types.Value) (prep *Prepared, err error) {
+	defer recoverExecPanic(&err)
 	stmt, nparams, err := parser.ParseWithParams(sql)
 	if err != nil {
 		return nil, err
@@ -211,8 +213,11 @@ func (e *Engine) Prepare(sql string, params ...types.Value) (*Prepared, error) {
 
 // ExecPrepared executes a prepared statement. The caller is responsible
 // for staleness (see Prepared.Stale); executing a stale plan against a
-// reshaped catalog is undefined.
-func (e *Engine) ExecPrepared(ctx context.Context, p *Prepared, opts *ExecOptions, params ...types.Value) (*storage.Chunk, error) {
+// reshaped catalog is undefined. A panic during execution — on this
+// goroutine or inside a parallel pool worker — surfaces as a
+// *QueryPanicError, never as a process-killing unwind.
+func (e *Engine) ExecPrepared(ctx context.Context, p *Prepared, opts *ExecOptions, params ...types.Value) (chunk *storage.Chunk, err error) {
+	defer recoverExecPanic(&err)
 	if p.NumParams > len(params) {
 		return nil, fmt.Errorf("statement uses %d parameters but %d argument(s) were supplied", p.NumParams, len(params))
 	}
@@ -265,13 +270,15 @@ func (e *Engine) ExecScript(sql string, params ...types.Value) (*storage.Chunk, 
 	return e.ExecScriptCtx(context.Background(), sql, params...)
 }
 
-// ExecScriptCtx is ExecScript with a cancellation context.
-func (e *Engine) ExecScriptCtx(ctx context.Context, sql string, params ...types.Value) (*storage.Chunk, error) {
+// ExecScriptCtx is ExecScript with a cancellation context. A panic in
+// any statement surfaces as a *QueryPanicError (the script stops at
+// that statement, like any other statement error).
+func (e *Engine) ExecScriptCtx(ctx context.Context, sql string, params ...types.Value) (last *storage.Chunk, err error) {
+	defer recoverExecPanic(&err)
 	stmts, err := parser.ParseAll(sql)
 	if err != nil {
 		return nil, err
 	}
-	var last *storage.Chunk
 	for _, s := range stmts {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -528,8 +535,10 @@ func (e *Engine) execDelete(t *ast.DeleteStmt, params []types.Value) error {
 // of rebuilding the graph. The index is *updatable*: rows inserted
 // after the build are absorbed into a delta at the next query, and the
 // snapshot is rebuilt automatically once the delta outgrows it;
-// DELETE and DROP invalidate the index entirely.
-func (e *Engine) BuildGraphIndex(table, src, dst string) error {
+// DELETE and DROP invalidate the index entirely. A panic during the
+// parallel build surfaces as a *QueryPanicError.
+func (e *Engine) BuildGraphIndex(table, src, dst string) (err error) {
+	defer recoverExecPanic(&err)
 	t, ok := e.cat.Table(table)
 	if !ok {
 		return fmt.Errorf("table %q does not exist", table)

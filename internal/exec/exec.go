@@ -12,6 +12,7 @@ import (
 
 	"graphsql/internal/core"
 	"graphsql/internal/expr"
+	"graphsql/internal/fault"
 	"graphsql/internal/par"
 	"graphsql/internal/plan"
 	"graphsql/internal/storage"
@@ -88,6 +89,9 @@ func Execute(n plan.Node, ctx *Context) (*storage.Chunk, error) {
 	// Every operator materializes fully, so the pre-operator check makes
 	// a canceled plan tree unwind at the next chunk boundary.
 	if err := ctx.Canceled(); err != nil {
+		return nil, err
+	}
+	if err := fault.Inject(fault.PointExecOperator); err != nil {
 		return nil, err
 	}
 	switch t := n.(type) {

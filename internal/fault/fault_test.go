@@ -1,0 +1,161 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledFastPath(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled with no schedule")
+	}
+	if err := Inject(PointSolverGroup); err != nil {
+		t.Fatalf("Inject with no schedule: %v", err)
+	}
+}
+
+func TestErrorRuleFires(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Set(Rule{Point: PointExecOperator, Kind: KindError}); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("Enabled = false after Set")
+	}
+	err := Inject(PointExecOperator)
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Point != PointExecOperator {
+		t.Fatalf("Inject = %v, want *InjectedError at %s", err, PointExecOperator)
+	}
+	// Other points stay inert.
+	if err := Inject(PointSolverGroup); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestPanicRuleFires(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Set(Rule{Point: PointSolverGroup, Kind: KindPanic}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		ip, ok := r.(*InjectedPanic)
+		if !ok || ip.Point != PointSolverGroup {
+			t.Fatalf("recovered %#v, want *InjectedPanic at %s", r, PointSolverGroup)
+		}
+	}()
+	Inject(PointSolverGroup)
+	t.Fatal("Inject returned instead of panicking")
+}
+
+func TestAfterTrigger(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Set(Rule{Point: "p", Kind: KindError, After: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := Inject("p"); err != nil {
+			t.Fatalf("hit %d fired during after-window: %v", i+1, err)
+		}
+	}
+	if err := Inject("p"); err == nil {
+		t.Fatal("hit 4 did not fire")
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	t.Cleanup(Reset)
+	fires := func(seed uint64) []bool {
+		if err := Set(Rule{Point: "p", Kind: KindError, Prob: 0.3, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = Inject("p") != nil
+		}
+		return out
+	}
+	a, b := fires(7), fires(7)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identically-seeded runs", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("p=0.3 fired %d/%d times, want a strict subset", hits, len(a))
+	}
+}
+
+func TestLatencyRuleSleepsAndContinues(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Set(
+		Rule{Point: "p", Kind: KindLatency, Latency: 20 * time.Millisecond},
+		Rule{Point: "p", Kind: KindError},
+	); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := Inject("p")
+	if err == nil {
+		t.Fatal("error rule after latency rule did not fire")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("latency rule slept %v, want ~20ms", elapsed)
+	}
+}
+
+func TestParse(t *testing.T) {
+	rules, err := Parse("solver.group:panic:p=0.05:after=10:seed=3; wire.stream.encode:error , exec.operator:latency:ms=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	r := rules[0]
+	if r.Point != PointSolverGroup || r.Kind != KindPanic || r.Prob != 0.05 || r.After != 10 || r.Seed != 3 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	if rules[1].Point != PointStreamEncode || rules[1].Kind != KindError {
+		t.Fatalf("rule 1 = %+v", rules[1])
+	}
+	if rules[2].Kind != KindLatency || rules[2].Latency != 50*time.Millisecond {
+		t.Fatalf("rule 2 = %+v", rules[2])
+	}
+
+	for _, bad := range []string{
+		"",
+		"solver.group",
+		"solver.group:explode",
+		"solver.group:panic:p=1.5",
+		"solver.group:panic:after=-1",
+		"solver.group:latency",       // latency without ms
+		"solver.group:panic:bogus=1", // unknown option
+		"solver.group:panic:p",       // option without value
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+func TestSetSpecAndReset(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := SetSpec("p:error"); err != nil {
+		t.Fatal(err)
+	}
+	if Inject("p") == nil {
+		t.Fatal("installed spec did not fire")
+	}
+	Reset()
+	if Enabled() || Inject("p") != nil {
+		t.Fatal("Reset did not disarm the schedule")
+	}
+}

@@ -5,7 +5,10 @@ import (
 	"context"
 	"fmt"
 	"slices"
+	"sync"
 	"sync/atomic"
+
+	"graphsql/internal/fault"
 )
 
 // Spec describes one CHEAPEST SUM evaluation over a graph: the edge
@@ -201,9 +204,13 @@ func (s *Solver) Solve(srcs, dsts []VertexID, specs []Spec) (*Solution, error) {
 	for w := 0; w < workers; w++ {
 		s.scratch(w)
 	}
-	// canceled latches the first cancellation observation so remaining
-	// groups drain as no-ops instead of starting new traversals.
+	// canceled latches the first failure observation so remaining groups
+	// drain as no-ops instead of starting new traversals; failOnce keeps
+	// the first group's actual error so it is reported verbatim (it is
+	// not always a cancellation — injected faults travel this path too).
 	var canceled atomic.Bool
+	var failOnce sync.Once
+	var failErr error
 	runIndexed(workers, len(groups), func(worker, i int) {
 		if canceled.Load() || (s.Ctx != nil && s.Ctx.Err() != nil) {
 			canceled.Store(true)
@@ -212,9 +219,16 @@ func (s *Solver) Solve(srcs, dsts []VertexID, specs []Spec) (*Solution, error) {
 		group := order[groups[i].lo:groups[i].hi]
 		if err := s.solveGroup(s.scratches[worker], srcs[group[0]], group, dsts, specs, sol, intra); err != nil {
 			canceled.Store(true)
+			failOnce.Do(func() { failErr = err })
 		}
 	})
 	if canceled.Load() {
+		// runIndexed's barrier orders the failOnce write before this
+		// read. A nil failErr means a worker observed s.Ctx canceled
+		// before any group returned an error.
+		if failErr != nil {
+			return nil, failErr
+		}
 		return nil, s.Ctx.Err()
 	}
 	return sol, nil
@@ -285,9 +299,13 @@ func (s *Solver) intraWorkers(groups, outer int) int {
 // concurrently for distinct groups, so it must write only through its
 // private scratch and the pair indices of its own group. intra > 1
 // runs the BFS frontier-parallel over that many workers. A non-nil
-// error is always s.Ctx's error: the traversal was canceled mid-flight
-// and the group's outputs are partial garbage the caller must discard.
+// error means the traversal stopped mid-flight (cancellation or an
+// injected fault) and the group's outputs are partial garbage the
+// caller must discard.
 func (s *Solver) solveGroup(sc *solverScratch, src VertexID, group []int, dsts []VertexID, specs []Spec, sol *Solution, intra int) error {
+	if err := fault.Inject(fault.PointSolverGroup); err != nil {
+		return err
+	}
 	// Mark the distinct destinations of this group.
 	distinct := 0
 	for _, i := range group {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync/atomic"
 
+	"graphsql/internal/fault"
 	"graphsql/internal/par"
 )
 
@@ -117,6 +118,9 @@ func (s *bfsState) runBFSParallel(g *CSR, delta *Delta, src VertexID, wanted []b
 			if err := ctx.Err(); err != nil {
 				return reached, err
 			}
+		}
+		if err := fault.Inject(fault.PointSolverLevel); err != nil {
+			return reached, err
 		}
 		levelHi := len(s.queue)
 		frontier := s.queue[levelLo:levelHi]

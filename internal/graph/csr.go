@@ -10,6 +10,8 @@ package graph
 import (
 	"context"
 	"fmt"
+
+	"graphsql/internal/fault"
 )
 
 // VertexID is a dense vertex identifier in H = {0..N-1}.
@@ -60,6 +62,9 @@ func BuildCSR(n int, src, dst []VertexID) (*CSR, error) {
 func buildCSRSeq(ctx context.Context, n int, src, dst []VertexID) (*CSR, error) {
 	if len(src) != len(dst) {
 		return nil, fmt.Errorf("graph: src/dst length mismatch: %d vs %d", len(src), len(dst))
+	}
+	if err := fault.Inject(fault.PointGraphBuildChunk); err != nil {
+		return nil, err
 	}
 	m := len(src)
 	offsets := make([]int64, n+1)
@@ -141,14 +146,21 @@ func buildCSRParallel(ctx context.Context, n int, src, dst []VertexID, workers i
 	}
 	m := len(src)
 	cp := &cancelPoller{ctx: ctx}
-	// Phase 1: per-chunk degree counting and range validation.
+	// Phase 1: per-chunk degree counting and range validation. ferr
+	// collects per-chunk injected faults (one slot per worker, disjoint
+	// writes); the first one, in chunk order, wins.
 	counts := make([][]int32, workers)
 	badSrc := make([]int, workers)
 	badDst := make([]int, workers)
+	ferr := make([]error, workers)
 	for w := range badSrc {
 		badSrc[w], badDst[w] = -1, -1
 	}
 	runRanges(workers, m, func(w, lo, hi int) {
+		if err := fault.Inject(fault.PointGraphBuildChunk); err != nil {
+			ferr[w] = err
+			return
+		}
 		cnt := make([]int32, n)
 		badS, badD := -1, -1
 		for row := lo; row < hi; row++ {
@@ -174,6 +186,11 @@ func buildCSRParallel(ctx context.Context, n int, src, dst []VertexID, workers i
 	})
 	if err := canceled(ctx); err != nil {
 		return nil, err
+	}
+	for _, err := range ferr {
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Report the same error the sequential builder would: the first
 	// out-of-range source anywhere, else the first bad destination.
@@ -220,6 +237,12 @@ func buildCSRParallel(ctx context.Context, n int, src, dst []VertexID, workers i
 	targets := make([]VertexID, m)
 	perm := make([]int32, m)
 	runRanges(workers, m, func(w, lo, hi int) {
+		// ferr slots are all nil here (a phase-1 fault returned early),
+		// so the scatter phase reuses them.
+		if err := fault.Inject(fault.PointGraphBuildChunk); err != nil {
+			ferr[w] = err
+			return
+		}
 		cur := counts[w]
 		for row := lo; row < hi; row++ {
 			if row&(cancelCheckInterval-1) == 0 && cp.poll() {
@@ -233,6 +256,11 @@ func buildCSRParallel(ctx context.Context, n int, src, dst []VertexID, workers i
 	})
 	if err := canceled(ctx); err != nil {
 		return nil, err
+	}
+	for _, err := range ferr {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &CSR{N: n, Offsets: offsets, Targets: targets, Perm: perm}, nil
 }

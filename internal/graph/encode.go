@@ -17,6 +17,8 @@ package graph
 
 import (
 	"context"
+
+	"graphsql/internal/fault"
 )
 
 // EncodeColumnsInt encodes the concatenation of the given int64 key
@@ -62,6 +64,9 @@ func bulkEncode[K comparable](ctx context.Context, m map[K]VertexID, next *Verte
 	}
 	if workers <= 1 || total < minParallelEncodeKeys {
 		for c, col := range cols {
+			if err := fault.Inject(fault.PointGraphEncodeChunk); err != nil {
+				return err
+			}
 			out := outs[c]
 			for i, k := range col {
 				if i&(cancelCheckInterval-1) == 0 {
@@ -108,9 +113,16 @@ func bulkEncodeParallel[K comparable](ctx context.Context, m map[K]VertexID, nex
 		}
 	}
 	cp := &cancelPoller{ctx: ctx}
+	// ferr collects per-chunk injected faults (disjoint slots, read
+	// after each phase's barrier).
+	ferr := make([]error, len(chunks))
 	// Phase 1 (parallel): per-chunk dedup of keys the dictionary does
 	// not already know; the shared map is read-only here.
 	runIndexed(workers, len(chunks), func(_, i int) {
+		if err := fault.Inject(fault.PointGraphEncodeChunk); err != nil {
+			ferr[i] = err
+			return
+		}
 		ch := chunks[i]
 		keys := cols[ch.col][ch.lo:ch.hi]
 		local := make(map[K]struct{}, len(keys)/4+8)
@@ -131,6 +143,11 @@ func bulkEncodeParallel[K comparable](ctx context.Context, m map[K]VertexID, nex
 	if err := canceled(ctx); err != nil {
 		return err
 	}
+	for _, err := range ferr {
+		if err != nil {
+			return err
+		}
+	}
 	// Phase 2 (sequential): intern distinct keys in stream order so the
 	// dense IDs match what a sequential pass would assign.
 	for _, ch := range chunks {
@@ -145,7 +162,12 @@ func bulkEncodeParallel[K comparable](ctx context.Context, m map[K]VertexID, nex
 		}
 	}
 	// Phase 3 (parallel): fill output IDs from the now-complete map.
+	// ferr slots are all nil again (a phase-1 fault returned early).
 	runIndexed(workers, len(chunks), func(_, i int) {
+		if err := fault.Inject(fault.PointGraphEncodeChunk); err != nil {
+			ferr[i] = err
+			return
+		}
 		ch := chunks[i]
 		keys := cols[ch.col]
 		out := outs[ch.col]
@@ -156,5 +178,13 @@ func bulkEncodeParallel[K comparable](ctx context.Context, m map[K]VertexID, nex
 			out[j] = m[keys[j]]
 		}
 	})
-	return canceled(ctx)
+	if err := canceled(ctx); err != nil {
+		return err
+	}
+	for _, err := range ferr {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -6,13 +6,66 @@
 // a fixed order, so results are bit-identical at every worker count.
 // With one worker (or one item) every primitive degrades to a plain
 // loop with zero goroutine overhead.
+//
+// A panic in a worker does not kill the process: the pool captures the
+// first panic (value and stack, see WorkerPanic) and re-raises it on
+// the caller goroutine once all workers have stopped, matching the
+// behavior of the equivalent sequential loop.
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// WorkerPanic carries a panic out of a pool worker: the original panic
+// value plus the worker goroutine's stack at the point of panic. When a
+// worker panics, the pool lets its peers drain (or bail early, for
+// Indexed), then re-panics on the caller goroutine with a *WorkerPanic
+// — so a panic inside a parallel region surfaces exactly like a panic
+// in the equivalent sequential loop, and recovery layers upstream (the
+// engine boundary, the server middleware) need only one mechanism.
+// Only the first panic is kept; later ones are dropped.
+type WorkerPanic struct {
+	// Value is the original value passed to panic.
+	Value any
+	// Stack is the panicking worker's stack trace.
+	Stack []byte
+}
+
+func (p *WorkerPanic) String() string { return fmt.Sprintf("par: worker panic: %v", p.Value) }
+
+// Error lets recover sites treat the value uniformly with real errors.
+func (p *WorkerPanic) Error() string { return p.String() }
+
+// Unwrap exposes the original panic value when it was an error, so
+// errors.As sees through the pool boundary.
+func (p *WorkerPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// capture wraps a worker body: a panic is recorded into first (keeping
+// the earliest one) instead of killing the process. A *WorkerPanic
+// from a nested pool passes through unwrapped, so arbitrarily deep
+// nesting surfaces the innermost worker's value and stack once.
+func capture(first *atomic.Pointer[WorkerPanic], body func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			wp, ok := r.(*WorkerPanic)
+			if !ok {
+				wp = &WorkerPanic{Value: r, Stack: debug.Stack()}
+			}
+			first.CompareAndSwap(nil, wp)
+		}
+	}()
+	body()
+}
 
 // Workers maps a Parallelism option onto a concrete worker count:
 // values <= 0 mean one worker per available CPU.
@@ -38,21 +91,34 @@ func Indexed(workers, n int, f func(worker, item int)) {
 		return
 	}
 	var next atomic.Int64
+	var firstPanic atomic.Pointer[WorkerPanic]
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			capture(&firstPanic, func() {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					// A peer already panicked: stop stealing items. The
+					// run is doomed, so partial output is fine — but
+					// skipping the remaining items bounds how long the
+					// caller waits before the panic resurfaces.
+					if firstPanic.Load() != nil {
+						return
+					}
+					f(worker, i)
 				}
-				f(worker, i)
-			}
+			})
 		}(w)
 	}
 	wg.Wait()
+	if p := firstPanic.Load(); p != nil {
+		panic(p)
+	}
 }
 
 // Ranges splits [0, n) into one contiguous range per worker and runs
@@ -72,6 +138,7 @@ func Ranges(workers, n int, f func(worker, lo, hi int)) {
 		return
 	}
 	chunk := (n + workers - 1) / workers
+	var firstPanic atomic.Pointer[WorkerPanic]
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -85,10 +152,13 @@ func Ranges(workers, n int, f func(worker, lo, hi int)) {
 		wg.Add(1)
 		go func(worker, lo, hi int) {
 			defer wg.Done()
-			f(worker, lo, hi)
+			capture(&firstPanic, func() { f(worker, lo, hi) })
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if p := firstPanic.Load(); p != nil {
+		panic(p)
+	}
 }
 
 // RangeBounds returns the (lo, hi) bounds Ranges would hand to worker w

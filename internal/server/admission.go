@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrQueueFull is returned when a query arrives while the in-flight
@@ -26,6 +27,11 @@ type Admission struct {
 	inFlight  int
 	available int // worker units not currently granted
 	waiters   []*waiter
+
+	// avgHeldSecs is an EWMA of how long grants are held (admission to
+	// Release), the service-time estimate behind RetryAfter; 0 = no
+	// observation yet.
+	avgHeldSecs float64
 
 	// cumulative counters (guarded by mu; see Snapshot)
 	admitted uint64
@@ -80,6 +86,7 @@ func (a *Admission) PerQueryCap() int { return a.perQuery }
 // called exactly once when the query finishes.
 type Grant struct {
 	a       *Admission
+	started time.Time
 	Workers int
 }
 
@@ -123,7 +130,7 @@ func (a *Admission) Acquire(ctx context.Context, want int) (*Grant, error) {
 		a.available -= w
 		a.admitted++
 		a.mu.Unlock()
-		return &Grant{a: a, Workers: w}, nil
+		return &Grant{a: a, started: time.Now(), Workers: w}, nil
 	}
 	if len(a.waiters) >= a.queueDepth {
 		a.rejected++
@@ -137,7 +144,7 @@ func (a *Admission) Acquire(ctx context.Context, want int) (*Grant, error) {
 
 	select {
 	case w := <-wt.ch:
-		return &Grant{a: a, Workers: w}, nil
+		return &Grant{a: a, started: time.Now(), Workers: w}, nil
 	case <-ctx.Done():
 		a.mu.Lock()
 		for i, q := range a.waiters {
@@ -153,7 +160,7 @@ func (a *Admission) Acquire(ctx context.Context, want int) (*Grant, error) {
 		// Already granted between Done and the lock: hand the grant
 		// back before reporting cancellation.
 		w := <-wt.ch
-		(&Grant{a: a, Workers: w}).Release()
+		(&Grant{a: a, started: time.Now(), Workers: w}).Release()
 		return nil, ctx.Err()
 	}
 }
@@ -161,8 +168,17 @@ func (a *Admission) Acquire(ctx context.Context, want int) (*Grant, error) {
 // Release returns the grant's workers and admits the next waiter.
 func (g *Grant) Release() {
 	a := g.a
+	held := time.Since(g.started).Seconds()
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	// Fold the grant's lifetime into the service-time EWMA RetryAfter
+	// leans on. α = 0.2: a handful of recent queries dominate, so the
+	// hint tracks load shifts within seconds.
+	if a.avgHeldSecs == 0 {
+		a.avgHeldSecs = held
+	} else {
+		a.avgHeldSecs = a.avgHeldSecs*0.8 + held*0.2
+	}
 	a.available += g.Workers
 	if len(a.waiters) > 0 {
 		next := a.waiters[0]
@@ -174,6 +190,31 @@ func (g *Grant) Release() {
 		return
 	}
 	a.inFlight--
+}
+
+// RetryAfter estimates how long a rejected client should wait before
+// retrying: the backlog ahead of it, in waves of maxInFlight concurrent
+// queries, times the recent average time a grant is held. With no
+// observations yet it assumes 50ms per wave. Clamped to [1s, 30s] —
+// whole seconds are what the Retry-After header can express, and a
+// bounded ceiling keeps a latency spike from parking clients forever.
+func (a *Admission) RetryAfter() time.Duration {
+	a.mu.Lock()
+	queued := len(a.waiters)
+	avg := a.avgHeldSecs
+	a.mu.Unlock()
+	if avg == 0 {
+		avg = 0.05
+	}
+	waves := 1 + queued/a.maxInFlight
+	d := time.Duration(float64(waves) * avg * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
 }
 
 // AdmissionSnapshot is a point-in-time view for /stats.

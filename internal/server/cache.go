@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"graphsql"
+	"graphsql/internal/fault"
 	"graphsql/internal/sql/lexer"
 )
 
@@ -188,6 +189,12 @@ func (rc *ResultCache) Get(key string) (*graphsql.Result, []byte, bool) {
 // budgets hold. Results bigger than a quarter of the byte budget are
 // dropped instead of cached.
 func (rc *ResultCache) Put(key, graph string, res *graphsql.Result, encoded []byte) {
+	// A cache-insert fault skips the insert: the caller has already sent
+	// the result, so losing only the cache admission is the correct
+	// degraded behavior (and what the chaos harness asserts).
+	if fault.Inject(fault.PointCacheInsert) != nil {
+		return
+	}
 	e := &cacheEntry{key: key, graph: graph, res: res, encoded: encoded}
 	if e.size() > rc.maxBytes/4 {
 		return

@@ -11,11 +11,14 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"graphsql/internal/wire"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, chosen for
@@ -86,30 +89,61 @@ func (m *httpMetrics) observe(endpoint string, status int, seconds float64) {
 
 // statusRecorder captures the response status for instrumentation and
 // forwards Flush so the streaming path keeps flushing frames through
-// the wrapper.
+// the wrapper. wrote tracks whether the response head left the wrapper,
+// which is what the panic-recovery middleware checks before attempting
+// a structured 500.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
 func (r *statusRecorder) Flush() {
+	r.wrote = true
 	if f, ok := r.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
 }
 
 // instrument wraps a handler with latency and response-code recording
-// under the given endpoint label.
+// under the given endpoint label, plus the last-resort panic
+// containment boundary: a panic that escapes the handler (one the
+// engine boundary and the streaming paths did not already convert) is
+// recovered here, counted in gsqld_panics_total, and answered with a
+// structured 500 when the response head has not been sent yet — the
+// process keeps serving either way. Admission grants are not released
+// here: runQuery's own deferred release runs during the unwind, before
+// this recover, so a panicking query cannot leak its slot.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(rec, r)
+		func() {
+			defer func() {
+				rv := recover()
+				if rv == nil {
+					return
+				}
+				s.recordPanic(rv, debug.Stack())
+				s.errors.Add(1)
+				if !rec.wrote {
+					writeJSON(rec, http.StatusInternalServerError,
+						wire.FromError(wire.CodePanic, fmt.Errorf("query panicked: %v", rv)))
+				}
+			}()
+			h(rec, r)
+		}()
 		s.httpMetrics.observe(endpoint, rec.status, time.Since(start).Seconds())
 	}
 }
@@ -158,6 +192,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.counter("gsqld_query_errors_total", "Statements that returned an error, including cancellations.", s.errors.Load())
 	p.counter("gsqld_queries_abandoned_total", "Statements abandoned by cancellation, timeout or client disconnect.", s.canceled.Load())
 	p.counter("gsqld_loads_total", "Completed graph (re)loads.", s.loads.Load())
+	p.counter("gsqld_panics_total", "Query panics contained by the recovery layers; the process kept serving.", s.panics.Load())
 	p.gauge("gsqld_sessions", "Live entries in the session table.", float64(sessions))
 
 	p.gauge("gsqld_queries_in_flight", "Queries currently executing.", float64(adm.InFlight))

@@ -54,14 +54,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
+	"math"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"graphsql"
+	"graphsql/internal/fault"
 	"graphsql/internal/wire"
 )
 
@@ -87,6 +91,14 @@ type Config struct {
 	PerQueryWorkers int
 	// QueryTimeout bounds each query's execution; 0 means no limit.
 	QueryTimeout time.Duration
+	// QueueWait bounds how long a query may wait in the admission queue
+	// before the server gives up on it with queue_timeout (503 +
+	// Retry-After). Distinct from QueryTimeout, which bounds execution:
+	// under overload the queue-wait deadline sheds load that has not
+	// consumed anything yet — and such a rejection is always safe to
+	// retry. 0 disables the deadline (queued queries wait until the
+	// client gives up).
+	QueueWait time.Duration
 	// MaxSessions bounds the session table; the least-recently-used
 	// session is evicted beyond it. Defaults to 1024.
 	MaxSessions int
@@ -144,7 +156,12 @@ type Server struct {
 	errors   atomic.Uint64
 	canceled atomic.Uint64
 	loads    atomic.Uint64
-	started  time.Time
+	// panics counts contained query panics (gsqld_panics_total);
+	// lastPanic is the UnixNano of the most recent one (0 = never),
+	// which /healthz folds into its degraded signal.
+	panics    atomic.Uint64
+	lastPanic atomic.Int64
+	started   time.Time
 }
 
 // serverSession is one client session: per-graph facade sessions so
@@ -243,9 +260,54 @@ func (s *Server) Cache() *ResultCache { return s.cache }
 // Handler returns the root http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// HealthResponse is the GET /healthz payload. The probe always answers
+// HTTP 200 while the process serves (liveness); Status degrades to
+// "degraded" when the admission queue is at least half full or a panic
+// was contained within the last minute, so dashboards and load
+// balancers can drain a struggling instance before it starts shedding.
+type HealthResponse struct {
+	Status          string `json:"status"` // "ok" | "degraded"
+	InFlight        int    `json:"in_flight"`
+	Queued          int    `json:"queued"`
+	QueueDepth      int    `json:"queue_depth"`
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	// SecondsSinceLastPanic is omitted until the first contained panic.
+	SecondsSinceLastPanic float64 `json:"seconds_since_last_panic,omitempty"`
+}
+
+// degradedPanicWindow is how long one contained panic keeps /healthz
+// reporting degraded.
+const degradedPanicWindow = time.Minute
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"status":"ok"}`)
+	adm := s.adm.Snapshot()
+	resp := &HealthResponse{
+		Status:          "ok",
+		InFlight:        adm.InFlight,
+		Queued:          adm.Queued,
+		QueueDepth:      adm.QueueDepth,
+		PanicsRecovered: s.panics.Load(),
+	}
+	if last := s.lastPanic.Load(); last != 0 {
+		since := time.Since(time.Unix(0, last))
+		resp.SecondsSinceLastPanic = since.Seconds()
+		if since < degradedPanicWindow {
+			resp.Status = "degraded"
+		}
+	}
+	if adm.QueueDepth > 0 && 2*adm.Queued >= adm.QueueDepth {
+		resp.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordPanic counts one contained panic and logs it with the
+// panicking goroutine's stack — the only place the stack goes; wire
+// responses carry just the panic value.
+func (s *Server) recordPanic(v any, stack []byte) {
+	s.panics.Add(1)
+	s.lastPanic.Store(time.Now().UnixNano())
+	log.Printf("gsqld: contained query panic: %v\n%s", v, stack)
 }
 
 // session resolves (or creates) the named session, updating its LRU
@@ -301,7 +363,7 @@ func writeJSON(w http.ResponseWriter, status int, payload any) {
 // errorStatus maps wire error codes onto HTTP statuses.
 func errorStatus(code string) int {
 	switch code {
-	case wire.CodeQueueFull:
+	case wire.CodeQueueFull, wire.CodeQueueTimeout:
 		return http.StatusServiceUnavailable
 	case wire.CodeUnknownGraph:
 		return http.StatusNotFound
@@ -311,7 +373,7 @@ func errorStatus(code string) int {
 		return http.StatusGatewayTimeout
 	case wire.CodeInvalidRequest:
 		return http.StatusBadRequest
-	case wire.CodeInternal:
+	case wire.CodeInternal, wire.CodePanic:
 		return http.StatusInternalServerError
 	default:
 		return http.StatusUnprocessableEntity
@@ -326,10 +388,20 @@ func (s *Server) failQuery(w http.ResponseWriter, code string, err error) {
 	writeJSON(w, errorStatus(code), wire.FromError(code, err))
 }
 
-// failExec classifies an execution error: timeout beats cancellation
-// beats plain SQL error.
+// failExec classifies an execution error: contained panic beats
+// timeout beats cancellation beats plain SQL error. (A panic racing a
+// timeout reports the panic — the more actionable signal.) An injected
+// fault reports internal, not sql_error: the statement was fine, the
+// server hiccuped.
 func (s *Server) failExec(w http.ResponseWriter, ctx context.Context, timedOut func() bool, err error) {
+	var qp *graphsql.QueryPanicError
+	var inj *fault.InjectedError
 	switch {
+	case errors.As(err, &qp):
+		s.recordPanic(qp.Value, qp.Stack)
+		s.failQuery(w, wire.CodePanic, err)
+	case errors.As(err, &inj):
+		s.failQuery(w, wire.CodeInternal, err)
 	case timedOut():
 		s.failQuery(w, wire.CodeTimeout, err)
 	case ctx.Err() != nil:
@@ -337,6 +409,14 @@ func (s *Server) failExec(w http.ResponseWriter, ctx context.Context, timedOut f
 	default:
 		s.failQuery(w, wire.CodeSQL, err)
 	}
+}
+
+// retryAfterHeader stamps the Retry-After hint on a load-shedding
+// response (queue_full / queue_timeout), in the whole seconds the
+// header grammar requires, rounded up so clients never return early.
+func (s *Server) retryAfterHeader(w http.ResponseWriter) {
+	secs := int(math.Ceil(s.adm.RetryAfter().Seconds()))
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 // querySpec is one statement execution, shared by POST /query and
@@ -459,18 +539,47 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 		}
 	}
 
-	grant, err := s.adm.Acquire(ctx, want)
+	// The queue-wait deadline (when configured) bounds only Acquire —
+	// time spent waiting for an execution slot — never execution itself;
+	// that is QueryTimeout's job.
+	acqCtx := ctx
+	if s.cfg.QueueWait > 0 {
+		var acqCancel context.CancelFunc
+		acqCtx, acqCancel = context.WithTimeout(ctx, s.cfg.QueueWait)
+		defer acqCancel()
+	}
+	grant, err := s.adm.Acquire(acqCtx, want)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
+			s.retryAfterHeader(w)
 			s.failQuery(w, wire.CodeQueueFull, err)
 		case timedOut():
 			s.failQuery(w, wire.CodeTimeout, err)
+		case ctx.Err() == nil:
+			// Only the queue-wait deadline expired: the client is still
+			// connected and nothing has executed, so a retry (after the
+			// hint) is always safe.
+			s.retryAfterHeader(w)
+			s.failQuery(w, wire.CodeQueueTimeout,
+				fmt.Errorf("queued longer than the queue-wait deadline (%s)", s.cfg.QueueWait))
 		default:
 			s.failQuery(w, wire.CodeCanceled, err)
 		}
 		return
 	}
+	// The grant goes back exactly once no matter how this request ends —
+	// including a panic unwinding to the middleware recover, which this
+	// deferred release runs before. The streaming path releases early
+	// (once its cursor exists) and the flag makes that idempotent.
+	released := false
+	releaseGrant := func() {
+		if !released {
+			released = true
+			grant.Release()
+		}
+	}
+	defer releaseGrant()
 
 	s.queries.Add(1)
 	opts := graphsql.QueryOptions{Workers: grant.Workers}
@@ -483,7 +592,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 		if s.cache != nil && invalidatingSQL(q.sql) {
 			s.cache.InvalidateGraph(graphName)
 		}
-		grant.Release()
+		releaseGrant()
 		if qerr != nil {
 			s.failExec(w, ctx, timedOut, qerr)
 			return
@@ -491,7 +600,6 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 		s.streamRows(w, ctx, timedOut, rows, batch)
 		return
 	}
-	defer grant.Release()
 	// Writes purge the graph's cached results once they finish — the
 	// data-version key already guarantees no stale hit, the purge just
 	// releases the memory eagerly.
@@ -518,7 +626,10 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 // streamRows writes a chunked response from a live row-batch cursor.
 // The result set is converted and encoded batch by batch — the full
 // response never exists server-side. A cancellation between batches
-// ends the stream with an error trailer.
+// ends the stream with an error trailer; so does a server-side
+// encoding failure or a panic (recovered locally — the header is
+// already on the wire, so the middleware could not answer 500; a
+// stream is only ever torn by its error trailer, never silently).
 func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut func() bool, rows *graphsql.Rows, batch int) {
 	w.Header().Set("Content-Type", wire.StreamContentType)
 	sw := wire.NewStreamWriter(w)
@@ -531,6 +642,13 @@ func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut
 		s.errors.Add(1)
 		s.canceled.Add(1)
 	}
+	defer func() {
+		if rv := recover(); rv != nil {
+			s.recordPanic(rv, debug.Stack())
+			s.errors.Add(1)
+			sw.Fail(wire.CodePanic, fmt.Errorf("query panicked: %v", rv))
+		}
+	}()
 	if err := sw.Header(rows.Columns); err != nil {
 		abandon() // client gone before the first frame
 		return
@@ -551,6 +669,16 @@ func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut
 			break
 		}
 		if err := sw.Batch(b); err != nil {
+			// A server-side encoder failure (e.g. an injected stream
+			// fault) is not a disconnect: the connection still works, so
+			// the client gets a structured error trailer. Only a write
+			// error on a dead connection stays a silent abandon.
+			var inj *fault.InjectedError
+			if errors.As(err, &inj) {
+				s.errors.Add(1)
+				sw.Fail(wire.CodeInternal, err)
+				return
+			}
 			abandon() // client gone mid-stream; nothing left to tell it
 			return
 		}
@@ -579,6 +707,15 @@ func (s *Server) streamResult(w http.ResponseWriter, res *graphsql.Result, batch
 			hi = len(res.Rows)
 		}
 		if err := sw.Batch(res.Rows[lo:hi]); err != nil {
+			// Same classification as the live-cursor path: encoder
+			// faults end with a structured trailer, dead connections
+			// abandon silently.
+			var inj *fault.InjectedError
+			if errors.As(err, &inj) {
+				s.errors.Add(1)
+				sw.Fail(wire.CodeInternal, err)
+				return
+			}
 			abandon()
 			return
 		}
@@ -690,6 +827,7 @@ type StatsResponse struct {
 	Errors        uint64            `json:"errors"`
 	Canceled      uint64            `json:"canceled"`
 	Loads         uint64            `json:"loads"`
+	Panics        uint64            `json:"panics_recovered"`
 	Sessions      int               `json:"sessions"`
 	Admission     AdmissionSnapshot `json:"admission"`
 	Cache         *CacheSnapshot    `json:"cache,omitempty"`
@@ -706,6 +844,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Errors:        s.errors.Load(),
 		Canceled:      s.canceled.Load(),
 		Loads:         s.loads.Load(),
+		Panics:        s.panics.Load(),
 		Sessions:      sessions,
 		Admission:     s.adm.Snapshot(),
 		Graphs:        s.reg.Info(),

@@ -249,6 +249,8 @@ func TestServerAdmissionRejects(t *testing.T) {
 // TestServerCancellation issues a heavy query with a tiny timeout and
 // requires a clean canceled/timeout error plus counter movement.
 func TestServerCancellation(t *testing.T) {
+	// Registered before the server so it checks after server shutdown.
+	testutil.CheckGoroutineLeaks(t)
 	s, hs := newTestServer(t, Config{})
 	loadCorpus(t, hs.URL, "default")
 	// An all-pairs batched REACHES (400 source groups over a 160k-row
@@ -286,6 +288,7 @@ func TestServerCancellation(t *testing.T) {
 // eviction, so the prepared plan stays alive for the execution. Run
 // under -race this doubles as the eviction/bind race check.
 func TestServerSessionEvictionUnderLoad(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	srv, hs := newTestServer(t, Config{MaxSessions: 2, MaxInFlight: 8, QueueDepth: 64, TotalWorkers: 8})
 	loadCorpus(t, hs.URL, "default")
 	want := expectedBodies(t)
@@ -378,6 +381,7 @@ func chainScript(width int) string {
 // time. Run under -race this also exercises the cancel path against
 // concurrent queries.
 func TestServerCancelSingleTraversal(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	const width = 700 // 490k edges, 490k-deep chain
 	s, hs := newTestServer(t, Config{})
 	status, body := postJSON(t, hs.URL+"/graphs/default/load", &wire.LoadRequest{

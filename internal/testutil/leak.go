@@ -1,0 +1,52 @@
+package testutil
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutineLeaks snapshots the goroutine count and registers a
+// cleanup that fails the test if the count has not returned to (near)
+// the baseline once everything else has shut down. Call it FIRST in the
+// test body: t.Cleanup runs LIFO, so registering before the server (and
+// clients) guarantees this check runs after their shutdown.
+//
+// The check polls with a grace period — goroutines unwind
+// asynchronously after a server Close — and drains the default HTTP
+// client's idle pool first, since its readLoop/writeLoop goroutines are
+// per-connection client-side state, not server leaks. A small slack
+// absorbs runtime-internal goroutines that appear lazily (GC workers,
+// timer threads).
+func CheckGoroutineLeaks(t testing.TB) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	const (
+		slack    = 3
+		deadline = 5 * time.Second
+	)
+	t.Cleanup(func() {
+		if t.Failed() {
+			return // don't pile a leak report onto a real failure
+		}
+		// Client-side keep-alive connections hold two goroutines each;
+		// they are ours, not the server's.
+		http.DefaultClient.CloseIdleConnections()
+		var n int
+		for end := time.Now().Add(deadline); ; {
+			n = runtime.NumGoroutine()
+			if n <= baseline+slack {
+				return
+			}
+			if time.Now().After(end) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d live, baseline %d (+%d slack); dump:\n%s",
+			n, baseline, slack, buf)
+	})
+}

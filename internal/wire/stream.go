@@ -30,6 +30,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"graphsql/internal/fault"
 )
 
 // StreamContentType is the Content-Type of chunked query responses.
@@ -109,6 +111,9 @@ func (sw *StreamWriter) Header(columns []string) error {
 func (sw *StreamWriter) Batch(rows [][]any) error {
 	if len(rows) == 0 {
 		return nil
+	}
+	if err := fault.Inject(fault.PointStreamEncode); err != nil {
+		return err
 	}
 	enc := make([][]any, len(rows))
 	for i, row := range rows {

@@ -42,6 +42,15 @@ const (
 	CodeTimeout = "timeout"
 	// CodeQueueFull marks admission rejection (queue at capacity).
 	CodeQueueFull = "queue_full"
+	// CodeQueueTimeout marks a query that waited in the admission queue
+	// past the server's queue-wait deadline without starting. Distinct
+	// from CodeTimeout: no execution happened, so retrying (after the
+	// response's Retry-After hint) is always safe.
+	CodeQueueTimeout = "queue_timeout"
+	// CodePanic marks a query whose execution panicked server-side; the
+	// panic was contained and the server keeps serving. The statement
+	// may have partially applied if it was a write.
+	CodePanic = "panic"
 	// CodeUnknownGraph marks a request naming an unregistered graph.
 	CodeUnknownGraph = "unknown_graph"
 	// CodeInternal marks server-side failures (encoding, invariants).
