@@ -1,24 +1,31 @@
 // Command benchdiff compares -exp parallel / -exp execpar / -exp
-// bfspar JSON artifacts against a committed baseline
-// (bench_baseline.json) and fails when a configuration's self-relative
-// speedup regressed by more than the threshold. Speedups — not
-// absolute seconds — are compared, so the check is meaningful across
-// hosts of the same shape; points whose baseline carries no parallel
-// signal (speedup ≤ the signal floor, e.g. a single-core recording
-// host) are skipped and reported.
+// bfspar / -exp parse JSON artifacts against a committed baseline
+// (bench_baseline.json) and fails when a configuration regressed.
+// Parallel-family points compare self-relative speedups — not absolute
+// seconds — so the check is meaningful across hosts of the same shape;
+// points whose baseline carries no parallel signal (speedup ≤ the
+// signal floor, e.g. a single-core recording host) are skipped and
+// reported. Parse points compare allocs/op, which is a deterministic
+// property of the code rather than the host, so they arm the gate on
+// ANY machine — including hosts whose parallel points all skip — and
+// the tokenize stage is additionally held to a hard zero-allocation
+// invariant that needs no baseline at all.
 //
 //	go run ./cmd/benchdiff -baseline bench_baseline.json \
-//	    -parallel parallel.json -execpar execpar.json -bfspar bfspar.json
+//	    -parallel parallel.json -execpar execpar.json -bfspar bfspar.json \
+//	    -parse parse.json
 //
 // Record a fresh baseline with -record:
 //
 //	go run ./cmd/benchdiff -record -baseline bench_baseline.json \
-//	    -parallel parallel.json -execpar execpar.json -bfspar bfspar.json
+//	    -parallel parallel.json -execpar execpar.json -bfspar bfspar.json \
+//	    -parse parse.json
 //
 // Exit codes: 0 ok, 1 regression, 2 nothing compared (every point was
 // skipped — the gate is unarmed, typically a baseline recorded on a
-// host without parallel signal; re-record on the CI host class, or
-// pass -allow-empty to accept an unarmed gate explicitly).
+// host without parallel signal AND a run without parse points;
+// re-record on the CI host class, or pass -allow-empty to accept an
+// unarmed gate explicitly).
 package main
 
 import (
@@ -37,6 +44,7 @@ type Baseline struct {
 	Parallel []bench.ParallelPoint `json:"parallel"`
 	ExecPar  []bench.ExecParPoint  `json:"execpar"`
 	BfsPar   []bench.BfsParPoint   `json:"bfspar,omitempty"`
+	Parse    []bench.ParsePoint    `json:"parse,omitempty"`
 }
 
 func readJSON(path string, v any) error {
@@ -52,6 +60,8 @@ func main() {
 	parallelPath := flag.String("parallel", "", "-exp parallel artifact")
 	execparPath := flag.String("execpar", "", "-exp execpar artifact")
 	bfsparPath := flag.String("bfspar", "", "-exp bfspar artifact")
+	parsePath := flag.String("parse", "", "-exp parse artifact")
+	allocSlack := flag.Float64("max-alloc-growth", 0.5, "fail when a parse stage's allocs/op exceeds baseline by more than this absolute slack")
 	threshold := flag.Float64("max-regression", 0.25, "fail when speedup drops by more than this fraction")
 	signalFloor := flag.Float64("signal-floor", 1.05, "skip baseline points whose speedup is below this (no parallel signal)")
 	minSeconds := flag.Float64("min-seconds", 0.002, "skip points faster than this (scheduler noise)")
@@ -76,6 +86,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *parsePath != "" {
+		if err := readJSON(*parsePath, &cur.Parse); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *record {
 		cur.Host = *host
@@ -86,8 +101,8 @@ func main() {
 		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("baseline recorded to %s (%d parallel, %d execpar, %d bfspar points)\n",
-			*baselinePath, len(cur.Parallel), len(cur.ExecPar), len(cur.BfsPar))
+		fmt.Printf("baseline recorded to %s (%d parallel, %d execpar, %d bfspar, %d parse points)\n",
+			*baselinePath, len(cur.Parallel), len(cur.ExecPar), len(cur.BfsPar), len(cur.Parse))
 		return
 	}
 
@@ -149,6 +164,43 @@ func main() {
 		key := fmt.Sprintf("bfspar/sf%d/w%d", p.SF, p.Workers)
 		if b, ok := baseBfs[key]; ok {
 			check(key, b, p.Speedup, p.TraversalSeconds)
+		} else {
+			skipped++
+		}
+	}
+	// Parse points gate on allocs/op — deterministic per build, so no
+	// signal or noise floor applies and they count as compared on any
+	// host. The tokenize stage carries a hard invariant (0 allocs/op)
+	// that holds even without a baseline entry.
+	baseParse := map[string]float64{}
+	for _, p := range base.Parse {
+		baseParse[p.Stage] = p.AllocsPerOp
+	}
+	for _, p := range cur.Parse {
+		key := "parse/" + p.Stage
+		checked := false
+		status := "ok"
+		if p.Stage == "tokenize" {
+			checked = true
+			if p.AllocsPerOp > 0 {
+				failures++
+				status = "REGRESSION (tokenize must stay 0 allocs/op)"
+			}
+		}
+		if b, ok := baseParse[p.Stage]; ok {
+			checked = true
+			if p.AllocsPerOp > b+*allocSlack {
+				failures++
+				status = "REGRESSION"
+			}
+			fmt.Printf("%-40s baseline %5.2f allocs/op  now %5.2f allocs/op  %s\n",
+				key, b, p.AllocsPerOp, status)
+		} else if checked {
+			fmt.Printf("%-40s (no baseline)          now %5.2f allocs/op  %s\n",
+				key, p.AllocsPerOp, status)
+		}
+		if checked {
+			compared++
 		} else {
 			skipped++
 		}

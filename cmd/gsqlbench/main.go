@@ -1,11 +1,13 @@
 // Command gsqlbench is a self-contained load generator and smoke
 // checker for a running gsqld: it loads the differential corpus into a
-// graph, measures cached-vs-uncached replay throughput, hammers the
-// server with concurrent clients running a mix of repeated (cache-
-// hitting) and unique (cache-missing) queries, disconnects one client
-// mid-flight, and finally scrapes GET /metrics to assert the server
-// behaved: cache hits happened, the abandoned query was observed, and
-// not a single 5xx was returned.
+// graph, measures cached-vs-uncached replay throughput, checks that
+// statement fingerprinting unifies a literal query with its
+// parameterized twin in the result cache, hammers the server with
+// concurrent clients running a mix of repeated (cache-hitting) and
+// literal-variant (fingerprint-sharing) queries, disconnects one
+// client mid-flight, and finally scrapes GET /metrics to assert the
+// server behaved: result-cache AND plan-cache hits happened, the
+// abandoned query was observed, and not a single 5xx was returned.
 //
 //	$ gsqld -addr 127.0.0.1:8726 &
 //	$ gsqlbench -addr 127.0.0.1:8726 -clients 8 -rounds 4
@@ -74,6 +76,10 @@ func main() {
 			fatal("speedup measurement: %v", err)
 		}
 		fmt.Printf("corpus replay: uncached %v, cached avg %v -> speedup %.1fx\n", cold, warm, speedup)
+		if err := b.fingerprintPhase(); err != nil {
+			fatal("fingerprint phase: %v", err)
+		}
+		fmt.Println("fingerprint phase: parameterized twin served from the literal query's cache entry")
 	}
 
 	if err := b.concurrentLoad(*clients, *rounds); err != nil {
@@ -114,6 +120,7 @@ func main() {
 	} else {
 		check(speedup >= *minSpeedup, "cached replay speedup %.1fx >= %.1fx", speedup, *minSpeedup)
 		check(mf.value("gsqld_cache_hits_total") > 0, "gsqld_cache_hits_total = %g > 0", mf.value("gsqld_cache_hits_total"))
+		check(mf.value("gsqld_plan_cache_hits_total") > 0, "gsqld_plan_cache_hits_total = %g > 0", mf.value("gsqld_plan_cache_hits_total"))
 		check(mf.value("gsqld_queries_abandoned_total") >= 1 || !*disconnect,
 			"gsqld_queries_abandoned_total = %g >= 1", mf.value("gsqld_queries_abandoned_total"))
 		check(b.server5xx.n() == 0, "client-observed 5xx responses = %d", b.server5xx.n())
@@ -319,12 +326,58 @@ func (b *bench) measureCacheSpeedup(replays int) (speedup float64, cold, warmAvg
 	return float64(cold) / float64(warmAvg), cold, warmAvg, nil
 }
 
+// fingerprintPhase checks statement fingerprinting end to end through
+// the wire: a literal point query fills a cache entry, and its
+// parameterized twin carrying the same value must be served from that
+// very entry (hit-counter delta >= 1). Before fingerprinting the two
+// spellings computed different keys and the twin was always a miss.
+// The values sit outside every other phase's domain so no earlier fill
+// can fake the hit.
+func (b *bench) fingerprintPhase() error {
+	before, err := b.scrapeMetrics()
+	if err != nil {
+		return err
+	}
+	run := func(req *wire.QueryRequest) error {
+		qr, err := b.queryRetry(context.Background(), req)
+		if err != nil {
+			return err
+		}
+		if qr.status != http.StatusOK {
+			return fmt.Errorf("status %d on %s", qr.status, req.SQL)
+		}
+		return nil
+	}
+	if err := run(&wire.QueryRequest{SQL: `SELECT COUNT(*) FROM knows WHERE src >= 770001 AND dst >= 3`}); err != nil {
+		return err
+	}
+	if err := run(&wire.QueryRequest{
+		SQL:  `SELECT COUNT(*) FROM knows WHERE src >= ? AND dst >= ?`,
+		Args: []any{770001, 3},
+	}); err != nil {
+		return err
+	}
+	after, err := b.scrapeMetrics()
+	if err != nil {
+		return err
+	}
+	delta := after.value("gsqld_cache_hits_total") - before.value("gsqld_cache_hits_total")
+	if delta < 1 {
+		return fmt.Errorf("parameterized twin missed the literal query's cache entry (hit delta %g)", delta)
+	}
+	return nil
+}
+
 // concurrentLoad runs the mixed corpus: every client interleaves
 // repeated corpus queries (cache hits after the first round) with
-// unique parameterized lookups (cache misses), half of them through a
-// session so prepared plans engage, plus streamed replays. In chaos
-// mode a failed response is tolerated — but only a structured one; a
-// torn stream or a blank 500 fails the run even there.
+// literal variants of one statement shape whose values come from a
+// modest shared domain — fingerprinting folds every variant onto one
+// session plan (plan-cache hits) while value collisions across clients
+// and rounds produce result-cache hits literal spellings never got
+// before — half of them through a session so prepared plans engage,
+// plus streamed replays. In chaos mode a failed response is tolerated
+// — but only a structured one; a torn stream or a blank 500 fails the
+// run even there.
 func (b *bench) concurrentLoad(clients, rounds int) error {
 	queries := testutil.Queries()
 	errs := make(chan error, clients)
@@ -363,10 +416,13 @@ func (b *bench) concurrentLoad(clients, rounds int) error {
 						errs <- err
 						return
 					}
-					// A unique point lookup: distinct args -> cache miss.
+					// A literal variant of one point-lookup shape: the small
+					// value domain makes clients and rounds collide (result-
+					// cache hits), and every variant shares the session's
+					// fingerprinted plan whatever its values.
 					if err := exec(c, &wire.QueryRequest{
-						SQL:     `SELECT COUNT(*) FROM knows WHERE src >= ? AND dst >= ?`,
-						Args:    []any{c*1000 + r*100 + i, i},
+						SQL: fmt.Sprintf(`SELECT COUNT(*) FROM knows WHERE src >= %d AND dst >= %d`,
+							(c*31+r*7+i)%40, i%8),
 						Session: session,
 					}); err != nil {
 						errs <- err

@@ -1,0 +1,136 @@
+package graphsql
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"graphsql/internal/sql/fingerprint"
+	"graphsql/internal/testutil"
+)
+
+// The fingerprint property: for every statement, executing through the
+// session path (which normalizes literals to parameters and rides the
+// plan cache) must render byte-identically to executing the raw text
+// through the DB path (which never normalizes) — at every parallelism
+// setting the differential harness uses. Column naming is part of the
+// rendered output, so any normalization that leaked into a SELECT list
+// (where unaliased columns are named by their expression text) would
+// fail here, not just wrong values.
+
+func TestFingerprintDifferentialCorpus(t *testing.T) {
+	forceParallelOperators(t)
+	ctx := context.Background()
+	for _, p := range differentialSettings() {
+		db := openCorpusDB(t, p)
+		sess := db.Session()
+		for qi, q := range testutil.Queries() {
+			ref, err := db.Query(q)
+			if err != nil {
+				t.Fatalf("parallelism %d q%02d raw: %v\nquery: %s", p, qi, err, q)
+			}
+			got, err := sess.Query(ctx, q)
+			if err != nil {
+				t.Fatalf("parallelism %d q%02d normalized: %v\nquery: %s", p, qi, err, q)
+			}
+			if got.String() != ref.String() {
+				t.Errorf("parallelism %d q%02d: normalized path renders differently\nquery: %s\n--- raw\n%s--- normalized\n%s",
+					p, qi, q, ref.String(), got.String())
+			}
+		}
+	}
+}
+
+// TestFingerprintLiteralVariantsShareAPlan is the point of the whole
+// feature: replaying one statement shape with different literals must
+// hit the session plan cache, and every variant must still compute its
+// own literal's answer.
+func TestFingerprintLiteralVariantsShareAPlan(t *testing.T) {
+	ctx := context.Background()
+	db := openCorpusDB(t, 1)
+	sess := db.Session()
+
+	shape := "SELECT COUNT(*) FROM knows WHERE src >= %d AND dst >= %d"
+	// Distinct literal pairs: same fingerprint, different answers.
+	pairs := [][2]int{{0, 0}, {10, 5}, {100, 50}, {250, 125}}
+	for i, pr := range pairs {
+		q := fmt.Sprintf(shape, pr[0], pr[1])
+		n := fingerprint.Normalize(q)
+		if !n.Changed() || len(n.Literals) != 2 {
+			t.Fatalf("expected 2 extracted literals for %q, got %+v", q, n)
+		}
+		ref, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sess.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != ref.String() {
+			t.Fatalf("variant %d: %q rendered differently:\nraw %s\nnormalized %s", i, q, ref.String(), got.String())
+		}
+	}
+	hits, misses := db.PlanCacheStats()
+	// First variant misses; the other three literal variants must hit.
+	if hits < uint64(len(pairs)-1) {
+		t.Fatalf("plan cache hits = %d, want >= %d (misses %d): literal variants did not share a plan", hits, len(pairs)-1, misses)
+	}
+	if misses == 0 {
+		t.Fatalf("plan cache misses = 0: counter wiring broken")
+	}
+
+	// Mixed caller parameters and literals interleave in statement
+	// order; exercise both orders.
+	r1, err := sess.Query(ctx, "SELECT COUNT(*) FROM knows WHERE src >= ? AND dst >= 7", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.Query("SELECT COUNT(*) FROM knows WHERE src >= 20 AND dst >= 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.String() != r2.String() {
+		t.Fatalf("mixed params/literals: %s vs %s", r1.String(), r2.String())
+	}
+	r3, err := sess.Query(ctx, "SELECT COUNT(*) FROM knows WHERE src >= 3 AND dst >= ?", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := db.Query("SELECT COUNT(*) FROM knows WHERE src >= 3 AND dst >= 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.String() != r4.String() {
+		t.Fatalf("mixed params/literals (literal first): %s vs %s", r3.String(), r4.String())
+	}
+
+	// Argument-count errors must read exactly as without normalization:
+	// the statement as written has one placeholder.
+	_, err = sess.Query(ctx, "SELECT COUNT(*) FROM knows WHERE src >= ? AND dst >= 7")
+	if err == nil {
+		t.Fatal("expected an argument-count error")
+	}
+	_, rawErr := db.Query("SELECT COUNT(*) FROM knows WHERE src >= ? AND dst >= 7")
+	if rawErr == nil || err.Error() != rawErr.Error() {
+		t.Fatalf("normalized error %q differs from raw error %q", err, rawErr)
+	}
+}
+
+// TestFingerprintPrepareReportsRawParamCount pins the wire contract:
+// Prepare reports the placeholders the client wrote, not the larger
+// count fingerprinting compiles into the cached plan.
+func TestFingerprintPrepareReportsRawParamCount(t *testing.T) {
+	db := openCorpusDB(t, 1)
+	sess := db.Session()
+	info, err := sess.Prepare("SELECT COUNT(*) FROM knows WHERE src >= ? AND dst >= 7", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumParams != 1 {
+		t.Fatalf("NumParams = %d, want 1 (the ? the client wrote)", info.NumParams)
+	}
+	if !info.IsSelect {
+		t.Fatal("IsSelect = false")
+	}
+}

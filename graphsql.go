@@ -78,6 +78,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphsql/internal/engine"
@@ -94,6 +95,19 @@ import (
 type DB struct {
 	mu  sync.RWMutex
 	eng *engine.Engine
+
+	// planHits/planMisses aggregate session plan-cache traffic across
+	// every Session of this DB (a hit skips parse, bind and rewrite).
+	planHits   atomic.Uint64
+	planMisses atomic.Uint64
+}
+
+// PlanCacheStats reports the cumulative session plan-cache hits and
+// misses across all sessions of the DB. Statement fingerprinting
+// (internal/sql/fingerprint) normalizes literal variants to one cached
+// plan, so replayed point lookups with changing literals count as hits.
+func (db *DB) PlanCacheStats() (hits, misses uint64) {
+	return db.planHits.Load(), db.planMisses.Load()
 }
 
 // QueryPanicError is the error a statement returns when its execution

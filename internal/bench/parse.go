@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"graphsql/internal/sql/fingerprint"
+	"graphsql/internal/sql/lexer"
+	"graphsql/internal/sql/parser"
+	"graphsql/internal/testutil"
+)
+
+// ParsePoint is one measurement of the -exp parse experiment: a
+// front-end stage (tokenize, parse, fingerprint) driven over the test
+// corpus. Throughput is host-dependent, but allocs_per_op is a
+// deterministic property of the code — the same on a laptop and a CI
+// runner — which makes these points the host-independent half of the
+// perf gate: benchdiff checks them on any machine, most importantly
+// that the tokenizer stays at zero allocations per statement. The JSON
+// field names are stable; downstream tooling tracks them.
+type ParsePoint struct {
+	Stage       string  `json:"stage"`
+	Statements  int     `json:"statements"`
+	CorpusBytes int     `json:"corpus_bytes"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	NsPerStmt   float64 `json:"ns_per_stmt"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// parseRounds × parseReps corpus passes are measured; allocs_per_op
+// takes the minimum over rounds so a stray runtime allocation (timer,
+// background sweep) on one round cannot fake a regression, and the
+// throughput takes the fastest round like the other experiments.
+const (
+	parseRounds = 5
+	parseReps   = 40
+)
+
+// Parse runs the front-end micro-experiment over the shared test
+// corpus (the statements every differential harness replays).
+func Parse(o Options) error {
+	o.Defaults()
+	corpus := append(testutil.Queries(), testutil.SetupStatements()...)
+	var corpusBytes int
+	for _, q := range corpus {
+		corpusBytes += len(q)
+	}
+
+	lx := lexer.New("")
+	stages := []struct {
+		name string
+		run  func(q string) error
+	}{
+		{"tokenize", func(q string) error {
+			lx.Reset(q)
+			for {
+				tok, err := lx.Next()
+				if err != nil {
+					return err
+				}
+				if tok.Type == lexer.EOF {
+					return nil
+				}
+			}
+		}},
+		{"parse", func(q string) error {
+			_, err := parser.ParseAll(q)
+			return err
+		}},
+		{"fingerprint", func(q string) error {
+			fingerprint.Normalize(q)
+			return nil
+		}},
+	}
+
+	fmt.Fprintf(o.Out, "Front-end throughput over the %d-statement corpus (%d bytes)\n", len(corpus), corpusBytes)
+	fmt.Fprintf(o.Out, "%-12s %12s %14s %14s\n", "stage", "MB/s", "ns/stmt", "allocs/op")
+	var points []ParsePoint
+	for _, st := range stages {
+		// Warm-up pass: first-use initialization (keyword tables, parser
+		// pools) must not count against the steady state.
+		for _, q := range corpus {
+			if err := st.run(q); err != nil {
+				return fmt.Errorf("%s: %q: %w", st.name, q, err)
+			}
+		}
+		best := time.Duration(1 << 62)
+		minAllocs := float64(1 << 60)
+		var m0, m1 runtime.MemStats
+		for r := 0; r < parseRounds; r++ {
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			for rep := 0; rep < parseReps; rep++ {
+				for _, q := range corpus {
+					if err := st.run(q); err != nil {
+						return err
+					}
+				}
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			if elapsed < best {
+				best = elapsed
+			}
+			ops := float64(parseReps * len(corpus))
+			if a := float64(m1.Mallocs-m0.Mallocs) / ops; a < minAllocs {
+				minAllocs = a
+			}
+		}
+		ops := parseReps * len(corpus)
+		p := ParsePoint{
+			Stage:       st.name,
+			Statements:  len(corpus),
+			CorpusBytes: corpusBytes,
+			MBPerSec:    float64(corpusBytes*parseReps) / best.Seconds() / 1e6,
+			NsPerStmt:   float64(best.Nanoseconds()) / float64(ops),
+			AllocsPerOp: minAllocs,
+		}
+		points = append(points, p)
+		fmt.Fprintf(o.Out, "%-12s %12.2f %14.1f %14.2f\n", p.Stage, p.MBPerSec, p.NsPerStmt, p.AllocsPerOp)
+	}
+	if o.JSONOut != nil {
+		enc := json.NewEncoder(o.JSONOut)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(points); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -25,11 +25,18 @@ import (
 // (InvalidateGraph) so dead entries release memory immediately instead
 // of aging out of the LRU.
 //
-// Entries hold both the encoded buffered response (served verbatim on
-// buffered hits — byte-identical to a fresh execution) and the
-// materialized Result (re-chunked on streaming hits). Entries larger
-// than a quarter of the byte budget are never admitted, so one huge
-// result cannot wipe the working set.
+// Lookup keys are fingerprint-normalized by the caller (statement
+// literals rewritten to placeholders, the extracted values folded into
+// the typed argument list — internal/sql/fingerprint), so the literal
+// form of a point lookup and its parameterized form share one entry.
+//
+// Entries hold a single representation: the materialized Result. The
+// buffered JSON encoding is derived on demand (the wire encoding is
+// deterministic, so a buffered hit stays byte-identical to a fresh
+// execution) and streaming hits re-chunk the rows — storing only one
+// form roughly doubles the hit capacity of a given byte budget.
+// Entries larger than a quarter of the byte budget are never admitted,
+// so one huge result cannot wipe the working set.
 type ResultCache struct {
 	maxEntries int
 	maxBytes   int64
@@ -43,39 +50,69 @@ type ResultCache struct {
 }
 
 type cacheEntry struct {
-	key     string
-	graph   string
-	res     *graphsql.Result
-	encoded []byte
+	key   string
+	graph string
+	res   *graphsql.Result
+	// bytes memoizes resultFootprint(res) + key + overhead, so LRU
+	// eviction never re-walks the rows.
+	bytes int64
 }
 
 // cacheEntryOverhead approximates the bookkeeping bytes per entry on
-// top of the encoded payload (list element, map bucket, key).
+// top of the result payload (list element, map bucket, key).
 const cacheEntryOverhead = 256
 
-func (e *cacheEntry) size() int64 {
-	return int64(len(e.encoded)) + resultFootprint(e.res) + int64(len(e.key)) + cacheEntryOverhead
+func entrySize(key string, res *graphsql.Result) int64 {
+	return resultFootprint(res) + int64(len(key)) + cacheEntryOverhead
 }
 
-// resultFootprint approximates the resident bytes of the materialized
-// Result an entry retains for streaming hits. Boxed cells dominate:
-// an interface value plus the boxed payload runs ~24 bytes even for an
-// int64 cell the JSON encodes in one byte, so counting only
-// len(encoded) would under-account real memory several times over.
-// String and path payload bytes are already covered by the encoded
-// length (the JSON carries them verbatim).
+// resultFootprint approximates the resident bytes of a materialized
+// Result. Boxed cells dominate: an interface value plus the boxed
+// payload runs ~24 bytes even for an int64 cell, and variable-size
+// payloads (strings, nested path tables) add their own bytes on top —
+// with no encoded copy retained, the row walk must count them itself.
 func resultFootprint(res *graphsql.Result) int64 {
 	if res == nil {
 		return 0
 	}
-	rows := int64(len(res.Rows))
-	var cols int64
-	if rows > 0 {
-		cols = int64(len(res.Rows[0]))
-	}
 	const perRow = 24  // row slice header
 	const perCell = 24 // interface header + boxed payload
-	return rows*perRow + rows*cols*perCell
+	total := int64(len(res.Rows)) * perRow
+	for _, row := range res.Rows {
+		total += int64(len(row)) * perCell
+		for _, cell := range row {
+			total += cellPayload(cell)
+		}
+	}
+	return total
+}
+
+// cellPayload counts the variable-size bytes of one cell beyond its
+// boxed header: string contents and nested path tables. Fixed-size
+// cells (int64, float64, bool, time.Time) are covered by the per-cell
+// constant.
+func cellPayload(cell any) int64 {
+	switch t := cell.(type) {
+	case string:
+		return int64(len(t))
+	case *graphsql.Path:
+		if t == nil {
+			return 0
+		}
+		var n int64
+		for _, c := range t.Columns {
+			n += int64(len(c))
+		}
+		n += int64(len(t.Rows)) * 24
+		for _, row := range t.Rows {
+			n += int64(len(row)) * 24
+			for _, pc := range row {
+				n += cellPayload(pc)
+			}
+		}
+		return n
+	}
+	return 0
 }
 
 // NewResultCache builds a cache bounded by both an entry count and a
@@ -169,34 +206,34 @@ func firstKeyword(sql string) string {
 	return strings.ToLower(tok.Text)
 }
 
-// Get returns the cached result and its buffered encoding, promoting
-// the entry to most-recently-used.
-func (rc *ResultCache) Get(key string) (*graphsql.Result, []byte, bool) {
+// Get returns the cached result, promoting the entry to
+// most-recently-used. Callers derive whichever response form they need
+// (buffered encoding or streamed chunks) from the result.
+func (rc *ResultCache) Get(key string) (*graphsql.Result, bool) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	el, ok := rc.entries[key]
 	if !ok {
 		rc.misses++
-		return nil, nil, false
+		return nil, false
 	}
 	rc.hits++
 	rc.ll.MoveToFront(el)
-	e := el.Value.(*cacheEntry)
-	return e.res, e.encoded, true
+	return el.Value.(*cacheEntry).res, true
 }
 
 // Put inserts a result, evicting least-recently-used entries until the
 // budgets hold. Results bigger than a quarter of the byte budget are
 // dropped instead of cached.
-func (rc *ResultCache) Put(key, graph string, res *graphsql.Result, encoded []byte) {
+func (rc *ResultCache) Put(key, graph string, res *graphsql.Result) {
 	// A cache-insert fault skips the insert: the caller has already sent
 	// the result, so losing only the cache admission is the correct
 	// degraded behavior (and what the chaos harness asserts).
 	if fault.Inject(fault.PointCacheInsert) != nil {
 		return
 	}
-	e := &cacheEntry{key: key, graph: graph, res: res, encoded: encoded}
-	if e.size() > rc.maxBytes/4 {
+	e := &cacheEntry{key: key, graph: graph, res: res, bytes: entrySize(key, res)}
+	if e.bytes > rc.maxBytes/4 {
 		return
 	}
 	rc.mu.Lock()
@@ -208,18 +245,25 @@ func (rc *ResultCache) Put(key, graph string, res *graphsql.Result, encoded []by
 		return
 	}
 	rc.entries[key] = rc.ll.PushFront(e)
-	rc.bytes += e.size()
+	rc.bytes += e.bytes
 	for (len(rc.entries) > rc.maxEntries || rc.bytes > rc.maxBytes) && rc.ll.Len() > 1 {
 		rc.evictLocked(rc.ll.Back())
 		rc.evictions++
 	}
 }
 
+// AdmissionBudget reports the per-entry byte ceiling; callers that
+// accumulate rows speculatively (the streaming miss path) use it to
+// stop buffering as soon as an entry could no longer be admitted.
+func (rc *ResultCache) AdmissionBudget() int64 {
+	return rc.maxBytes / 4
+}
+
 func (rc *ResultCache) evictLocked(el *list.Element) {
 	e := el.Value.(*cacheEntry)
 	rc.ll.Remove(el)
 	delete(rc.entries, e.key)
-	rc.bytes -= e.size()
+	rc.bytes -= e.bytes
 }
 
 // InvalidateGraph drops every entry of the named graph (reload or

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 
@@ -82,33 +83,40 @@ func TestCacheableSQL(t *testing.T) {
 func TestCacheLRUBudgets(t *testing.T) {
 	rc := NewResultCache(2, 1<<20)
 	res := &graphsql.Result{}
-	put := func(k string) { rc.Put(k, "g", res, []byte("x")) }
+	put := func(k string) { rc.Put(k, "g", res) }
 	put("a")
 	put("b")
-	if _, _, ok := rc.Get("a"); !ok { // promotes a over b
+	if _, ok := rc.Get("a"); !ok { // promotes a over b
 		t.Fatal("a missing")
 	}
 	put("c") // evicts b (LRU)
-	if _, _, ok := rc.Get("b"); ok {
+	if _, ok := rc.Get("b"); ok {
 		t.Fatal("b survived past the entry budget")
 	}
-	if _, _, ok := rc.Get("a"); !ok {
+	if _, ok := rc.Get("a"); !ok {
 		t.Fatal("a (recently used) was evicted instead of b")
 	}
 	snap := rc.Snapshot()
 	if snap.Entries != 2 || snap.Evictions != 1 {
 		t.Fatalf("unexpected snapshot: %+v", snap)
 	}
-	// An entry above a quarter of the byte budget is never admitted.
-	rc2 := NewResultCache(100, 1000)
-	rc2.Put("huge", "g", res, make([]byte, 600))
+	// An entry above a quarter of the byte budget is never admitted —
+	// the result's payload bytes (here one big string cell) count, not
+	// just its row headers.
+	rc2 := NewResultCache(100, 2048)
+	big := &graphsql.Result{Columns: []string{"s"}, Rows: [][]any{{strings.Repeat("x", 600)}}}
+	rc2.Put("huge", "g", big)
 	if rc2.Snapshot().Entries != 0 {
 		t.Fatal("oversized entry admitted")
+	}
+	rc2.Put("small", "g", res)
+	if rc2.Snapshot().Entries != 1 {
+		t.Fatal("small entry refused: admission budget miscomputed")
 	}
 	// The byte budget evicts from the back.
 	rc3 := NewResultCache(100, 4*400)
 	for i := 0; i < 8; i++ {
-		rc3.Put(fmt.Sprintf("k%d", i), "g", res, make([]byte, 100))
+		rc3.Put(fmt.Sprintf("k%d", i), "g", res)
 	}
 	if s := rc3.Snapshot(); s.Bytes > s.MaxBytes || s.Entries == 8 {
 		t.Fatalf("byte budget not enforced: %+v", s)
@@ -119,13 +127,13 @@ func TestCacheLRUBudgets(t *testing.T) {
 func TestCacheInvalidateGraph(t *testing.T) {
 	rc := NewResultCache(10, 1<<20)
 	res := &graphsql.Result{}
-	rc.Put("k1", "a", res, []byte("x"))
-	rc.Put("k2", "b", res, []byte("x"))
-	rc.Put("k3", "a", res, []byte("x"))
+	rc.Put("k1", "a", res)
+	rc.Put("k2", "b", res)
+	rc.Put("k3", "a", res)
 	if n := rc.InvalidateGraph("a"); n != 2 {
 		t.Fatalf("invalidated %d entries, want 2", n)
 	}
-	if _, _, ok := rc.Get("k2"); !ok {
+	if _, ok := rc.Get("k2"); !ok {
 		t.Fatal("unrelated graph's entry was purged")
 	}
 	if s := rc.Snapshot(); s.Invalidated != 2 || s.Entries != 1 {

@@ -217,6 +217,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p.gauge("gsqld_cache_bytes", "Approximate bytes held by the result cache.", float64(cs.Bytes))
 	}
 
+	// Plan-cache counters summed over the registry's current databases
+	// (a reload resets its graph's contribution — the counters live on
+	// the swapped-out DB). Hits mean literal variants and prepared
+	// replays reused a parsed+bound plan instead of re-planning.
+	var planHits, planMisses uint64
+	for _, gi := range s.reg.Info() {
+		planHits += gi.PlanCacheHits
+		planMisses += gi.PlanCacheMisses
+	}
+	p.counter("gsqld_plan_cache_hits_total", "Statements that reused a cached session plan (fingerprint-normalized).", planHits)
+	p.counter("gsqld_plan_cache_misses_total", "Statements that parsed, bound and planned from scratch.", planMisses)
+
 	// Per-endpoint HTTP series, endpoints sorted for determinism.
 	s.httpMetrics.mu.Lock()
 	names := make([]string, 0, len(s.httpMetrics.endpoints))

@@ -94,12 +94,19 @@ func (r *Registry) Load(name, script string, indexes []wire.IndexSpec) (generati
 	return gen, tables, nil
 }
 
-// GraphInfo is one registry entry's /stats view.
+// GraphInfo is one registry entry's /stats view. The plan-cache
+// counters aggregate over every session of the graph's current
+// database: fingerprint normalization folds literal variants of one
+// statement shape onto a shared plan, and these counters are how
+// operators see whether that sharing actually happens for their
+// workload.
 type GraphInfo struct {
-	Name       string `json:"name"`
-	Generation int64  `json:"generation"`
-	Tables     int    `json:"tables"`
-	Rows       int    `json:"rows"`
+	Name            string `json:"name"`
+	Generation      int64  `json:"generation"`
+	Tables          int    `json:"tables"`
+	Rows            int    `json:"rows"`
+	PlanCacheHits   uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses uint64 `json:"plan_cache_misses"`
 }
 
 // Info lists the registered graphs sorted by name.
@@ -115,6 +122,7 @@ func (r *Registry) Info() []GraphInfo {
 		info := GraphInfo{Name: e.name, Generation: e.generation.Load()}
 		if db := e.db.Load(); db != nil {
 			info.Tables, info.Rows = db.TableStats()
+			info.PlanCacheHits, info.PlanCacheMisses = db.PlanCacheStats()
 		}
 		out = append(out, info)
 	}

@@ -66,6 +66,7 @@ import (
 
 	"graphsql"
 	"graphsql/internal/fault"
+	"graphsql/internal/sql/fingerprint"
 	"graphsql/internal/wire"
 )
 
@@ -490,18 +491,41 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 	// us store a fresher result under the older key — a key no future
 	// request computes again — never serve an older result under a
 	// fresher key. A hit consumes no admission slot: it is memory out.
+	//
+	// The statement half of the key is fingerprint-normalized: literals
+	// rewrite to placeholders and their values fold into the typed
+	// argument list, so `... WHERE id = 7` and `... WHERE id = ?` with
+	// arg 7 compute the same key (while `id = 8` stays distinct — the
+	// argument list is part of the key). When normalization declines the
+	// statement — or the argument count does not match its placeholders —
+	// the raw text keys the entry, which is always correct, just less
+	// shared.
 	var key string
 	if s.cache != nil && cacheableSQL(q.sql) {
-		key = cacheKey(graphName, gen, db.DataVersion(), q.sql, q.args)
+		keySQL, keyArgs := q.sql, q.args
+		if norm := fingerprint.Normalize(q.sql); norm.Changed() {
+			if merged, ok := norm.MergeAny(q.args); ok {
+				keySQL, keyArgs = norm.SQL, merged
+			}
+		}
+		key = cacheKey(graphName, gen, db.DataVersion(), keySQL, keyArgs)
 		if key != "" {
-			if res, encoded, hit := s.cache.Get(key); hit {
+			if res, hit := s.cache.Get(key); hit {
 				s.queries.Add(1)
 				if q.stream {
 					s.streamResult(w, res, batch)
 					return
 				}
+				// The wire encoding is deterministic, so re-encoding the
+				// stored result reproduces the first response byte for
+				// byte — the cache holds one representation, not two.
+				data, err := wire.FromResult(res).Encode()
+				if err != nil {
+					s.failQuery(w, wire.CodeInternal, err)
+					return
+				}
 				w.Header().Set("Content-Type", "application/json")
-				w.Write(encoded)
+				w.Write(data)
 				return
 			}
 		}
@@ -597,7 +621,18 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 			s.failExec(w, ctx, timedOut, qerr)
 			return
 		}
-		s.streamRows(w, ctx, timedOut, rows, batch)
+		// A streaming miss feeds the cache too: the batches are
+		// accumulated as they go out (bounded by the admission budget, so
+		// a result too big to cache stops buffering instead of doubling
+		// its memory) and admitted only when the stream completes with a
+		// trailer — a torn stream caches nothing.
+		var collect *streamCollector
+		if key != "" {
+			collect = &streamCollector{budget: s.cache.AdmissionBudget()}
+		}
+		if s.streamRows(w, ctx, timedOut, rows, batch, collect) && collect != nil && !collect.overflow {
+			s.cache.Put(key, graphName, &graphsql.Result{Columns: rows.Columns, Rows: collect.rows})
+		}
 		return
 	}
 	// Writes purge the graph's cached results once they finish — the
@@ -617,20 +652,56 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 		return
 	}
 	if key != "" {
-		s.cache.Put(key, graphName, res, data)
+		s.cache.Put(key, graphName, res)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
 }
 
+// streamCollector accumulates the batches of a streaming cache miss so
+// the full result can be admitted once the stream completes. The byte
+// estimate uses the same accounting as resultFootprint; crossing the
+// budget sets overflow and drops what was gathered — the stream itself
+// is unaffected.
+type streamCollector struct {
+	budget   int64
+	bytes    int64
+	rows     [][]any
+	overflow bool
+}
+
+// add retains one outgoing batch. NextBatch allocates fresh row slices
+// per call, so retaining them aliases nothing the cursor will reuse.
+func (c *streamCollector) add(b [][]any) {
+	if c.overflow {
+		return
+	}
+	for _, row := range b {
+		c.bytes += 24 + int64(len(row))*24
+		for _, cell := range row {
+			c.bytes += cellPayload(cell)
+		}
+	}
+	if c.bytes > c.budget {
+		c.overflow = true
+		c.rows = nil
+		return
+	}
+	c.rows = append(c.rows, b...)
+}
+
 // streamRows writes a chunked response from a live row-batch cursor.
 // The result set is converted and encoded batch by batch — the full
-// response never exists server-side. A cancellation between batches
-// ends the stream with an error trailer; so does a server-side
-// encoding failure or a panic (recovered locally — the header is
-// already on the wire, so the middleware could not answer 500; a
-// stream is only ever torn by its error trailer, never silently).
-func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut func() bool, rows *graphsql.Rows, batch int) {
+// response never exists server-side (except in collect, when the cache
+// wants the result and it fits the admission budget). A cancellation
+// between batches ends the stream with an error trailer; so does a
+// server-side encoding failure or a panic (recovered locally — the
+// header is already on the wire, so the middleware could not answer
+// 500; a stream is only ever torn by its error trailer, never
+// silently). It reports whether the stream completed with a clean
+// trailer — only then may the collected result be cached (a recovered
+// panic returns the zero value, false, like every error path).
+func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut func() bool, rows *graphsql.Rows, batch int, collect *streamCollector) bool {
 	w.Header().Set("Content-Type", wire.StreamContentType)
 	sw := wire.NewStreamWriter(w)
 	// abandon counts a stream the client will never finish reading —
@@ -651,7 +722,7 @@ func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut
 	}()
 	if err := sw.Header(rows.Columns); err != nil {
 		abandon() // client gone before the first frame
-		return
+		return false
 	}
 	for {
 		b, err := rows.NextBatch(batch)
@@ -663,10 +734,13 @@ func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut
 			}
 			abandon()
 			sw.Fail(code, err)
-			return
+			return false
 		}
 		if b == nil {
 			break
+		}
+		if collect != nil {
+			collect.add(b)
 		}
 		if err := sw.Batch(b); err != nil {
 			// A server-side encoder failure (e.g. an injected stream
@@ -677,13 +751,14 @@ func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut
 			if errors.As(err, &inj) {
 				s.errors.Add(1)
 				sw.Fail(wire.CodeInternal, err)
-				return
+				return false
 			}
 			abandon() // client gone mid-stream; nothing left to tell it
-			return
+			return false
 		}
 	}
 	sw.Trailer()
+	return true
 }
 
 // streamResult streams an already-materialized (cached) result in the

@@ -1,0 +1,238 @@
+package lexer_test
+
+// Differential harness: the zero-allocation lexer must produce exactly
+// the token stream (type, text, pos, line, col) and exactly the errors
+// of the reference lexer in reference_test.go, over the golden query
+// corpus, a set of handwritten lexical edge cases, and a fuzz target.
+// A second set of tests locks down the performance contract itself:
+// tokenizing an ASCII statement performs zero heap allocations beyond
+// the token slice.
+
+import (
+	"strings"
+	"testing"
+
+	"graphsql/internal/sql/lexer"
+	"graphsql/internal/testutil"
+)
+
+// edgeInputs are lexical corner cases the corpus queries do not cover.
+var edgeInputs = []string{
+	"",
+	"   \t\r\n  ",
+	"-- just a comment",
+	"/* block */",
+	"/* unterminated",
+	"'unterminated",
+	"\"unterminated",
+	"\"\"",
+	"''",
+	"'it''s'",
+	"\"a\"\"b\"",
+	"'multi\nline'",
+	"\"multi\nline\"",
+	"1 42 3.14 1e6 2.5E-3 0.5 .5 1. 7.e2",
+	"1e 1e+ 1e- 1E+2 9e-0",
+	"1.e 2.x 3.. 4.5.6",
+	"a<=b >= <> != || < > = + - * / % ( ) , . ; :",
+	"x!=y",
+	"?  ? ?",
+	"sel\u017Fect \u017Felect", // ſ upper-cases to S: keyword via Unicode fold
+	"caf\u00E9 _x $ x$y x$ 9x",
+	"SELECT * FROM t WHERE a = 'b' AND c <> 3.5 -- tail",
+	"SELECT\n  x,\n  y\nFROM t /* c\nomment */ WHERE z = 1e3",
+	"@",
+	"#",
+	"\x80 \xff",
+	"日本語 SELECT",
+	"ident_with_underscores_and_1234567890",
+	"ORDINALITY ordinality OrDiNaLiTy",
+	"BETWEEN BY REACHES CHEAPEST UNNEST over edge",
+	"notakeyword selectx xselect",
+	"'esc''aped''twice' plain 'then''more'",
+	"  .5+.5  ",
+	"5..7",
+	"e e1 E2 _e3",
+}
+
+func allInputs() []string {
+	var in []string
+	in = append(in, testutil.Queries()...)
+	in = append(in, testutil.SetupStatements()...)
+	in = append(in, testutil.FuzzSeeds()...)
+	in = append(in, edgeInputs...)
+	return in
+}
+
+// compareStreams tokenizes src with both lexers and reports any
+// divergence in tokens or errors.
+func compareStreams(t *testing.T, src string) {
+	t.Helper()
+	got, gotErr := lexer.Tokenize(src)
+	want, wantErr := refTokenize(src)
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("error divergence on %q:\n  new: %v\n  ref: %v", src, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("error text divergence on %q:\n  new: %v\n  ref: %v", src, gotErr, wantErr)
+		}
+		return
+	}
+	if len(got) != len(want) {
+		t.Fatalf("token count divergence on %q: new %d, ref %d", src, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("token %d divergence on %q:\n  new: %+v\n  ref: %+v", i, src, got[i], want[i])
+		}
+	}
+}
+
+func TestDifferentialCorpus(t *testing.T) {
+	for _, src := range allInputs() {
+		compareStreams(t, src)
+	}
+}
+
+func FuzzTokenizeDifferential(f *testing.F) {
+	for _, src := range allInputs() {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		compareStreams(t, src)
+	})
+}
+
+// TestNextOffset pins the Offset contract the fingerprint normalizer
+// depends on: after Next returns a token, Offset is one past the
+// token's source text, so src[tok.Pos:Offset] is the literal's span.
+func TestNextOffset(t *testing.T) {
+	src := "SELECT x FROM t WHERE a = 'it''s' AND b >= 3.5e2"
+	l := lexer.New(src)
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Type == lexer.EOF {
+			break
+		}
+		span := src[tok.Pos:l.Offset()]
+		switch tok.Type {
+		case lexer.Number, lexer.Ident:
+			if tok.Text != span && !strings.HasPrefix(span, "\"") {
+				t.Fatalf("token %+v: span %q does not match text", tok, span)
+			}
+		case lexer.String:
+			if span != "'"+strings.ReplaceAll(tok.Text, "'", "''")+"'" {
+				t.Fatalf("string token %+v: span %q", tok, span)
+			}
+		}
+	}
+}
+
+// TestReset pins lexer reuse: Reset must fully reinitialize position
+// state so a pooled lexer cannot leak line/col across statements.
+func TestReset(t *testing.T) {
+	l := lexer.New("a\nb\nc")
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Type == lexer.EOF {
+			break
+		}
+	}
+	l.Reset("x")
+	tok, err := l.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Line != 1 || tok.Col != 1 || tok.Pos != 0 || tok.Text != "x" {
+		t.Fatalf("Reset did not reinitialize: %+v", tok)
+	}
+}
+
+// TestTokenizeZeroAllocs is the zero-allocation contract: scanning an
+// all-ASCII statement with a reused lexer must not allocate at all,
+// and Tokenize as a whole allocates only the token slice.
+func TestTokenizeZeroAllocs(t *testing.T) {
+	src := "SELECT p.name, COUNT(*) FROM person p JOIN knows k ON p.id = k.src " +
+		"WHERE k.dst >= 42 AND p.name <> 'alice' GROUP BY p.name ORDER BY 2 DESC LIMIT 10"
+	var l lexer.Lexer
+	perRun := testing.AllocsPerRun(200, func() {
+		l.Reset(src)
+		for {
+			tok, err := l.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tok.Type == lexer.EOF {
+				return
+			}
+		}
+	})
+	if perRun != 0 {
+		t.Fatalf("Next loop allocates %.1f per run, want 0", perRun)
+	}
+	// Full Tokenize pays exactly one allocation: the token slice. The
+	// capacity estimate must hold for this statement or append doubles.
+	perRun = testing.AllocsPerRun(200, func() {
+		if _, err := lexer.Tokenize(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perRun > 1 {
+		t.Fatalf("Tokenize allocates %.1f per run, want <= 1", perRun)
+	}
+}
+
+// BenchmarkTokenize reports tokenize throughput on the corpus
+// statement mix; run with -benchmem to see allocs/op.
+func BenchmarkTokenize(b *testing.B) {
+	queries := testutil.Queries()
+	var total int64
+	for _, q := range queries {
+		total += int64(len(q))
+	}
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := lexer.Tokenize(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkNext measures the pure scan loop with a reused lexer — the
+// zero-allocation fast path.
+func BenchmarkNext(b *testing.B) {
+	queries := testutil.Queries()
+	var total int64
+	for _, q := range queries {
+		total += int64(len(q))
+	}
+	b.SetBytes(total)
+	b.ReportAllocs()
+	var l lexer.Lexer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			l.Reset(q)
+			for {
+				tok, err := l.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tok.Type == lexer.EOF {
+					break
+				}
+			}
+		}
+	}
+}

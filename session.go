@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"graphsql/internal/engine"
+	"graphsql/internal/sql/fingerprint"
 	"graphsql/internal/storage"
 	"graphsql/internal/types"
 )
@@ -77,7 +78,7 @@ func (s *Session) QueryOpts(ctx context.Context, qo QueryOptions, sql string, ar
 
 	db := s.db
 	db.mu.RLock()
-	p, err := s.resolvePlanLocked(sql, params)
+	p, execParams, err := s.resolvePlanLocked(sql, params)
 	if err != nil {
 		db.mu.RUnlock()
 		return nil, err
@@ -86,7 +87,7 @@ func (s *Session) QueryOpts(ctx context.Context, qo QueryOptions, sql string, ar
 		// Reads — and session-scoped SETs, which never touch the engine
 		// thanks to applySet — stay under the read lock.
 		defer db.mu.RUnlock()
-		chunk, err := db.eng.ExecPrepared(ctx, p, opts, params...)
+		chunk, err := db.eng.ExecPrepared(ctx, p, opts, execParams...)
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +101,7 @@ func (s *Session) QueryOpts(ctx context.Context, qo QueryOptions, sql string, ar
 	defer db.mu.Unlock()
 	// Writes carry no bound plan, so ExecPrepared binds them here
 	// against the current catalog — no second parse.
-	chunk, err := db.eng.ExecPrepared(ctx, p, opts, params...)
+	chunk, err := db.eng.ExecPrepared(ctx, p, opts, execParams...)
 	if err != nil {
 		return nil, err
 	}
@@ -131,13 +132,13 @@ func (s *Session) QueryRows(ctx context.Context, qo QueryOptions, sql string, ar
 
 	db := s.db
 	db.mu.RLock()
-	p, err := s.resolvePlanLocked(sql, params)
+	p, execParams, err := s.resolvePlanLocked(sql, params)
 	if err != nil {
 		db.mu.RUnlock()
 		return nil, err
 	}
 	if p.IsSelect() || p.IsSet() {
-		chunk, err := db.eng.ExecPrepared(ctx, p, opts, params...)
+		chunk, err := db.eng.ExecPrepared(ctx, p, opts, execParams...)
 		if err != nil {
 			db.mu.RUnlock()
 			return nil, err
@@ -152,7 +153,7 @@ func (s *Session) QueryRows(ctx context.Context, qo QueryOptions, sql string, ar
 	db.mu.RUnlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	chunk, err := db.eng.ExecPrepared(ctx, p, opts, params...)
+	chunk, err := db.eng.ExecPrepared(ctx, p, opts, execParams...)
 	if err != nil {
 		return nil, err
 	}
@@ -203,34 +204,74 @@ func (s *Session) Prepare(sql string, args ...any) (StmtInfo, error) {
 	if len(params) < n {
 		return StmtInfo{NumParams: n, IsSelect: isSel}, nil
 	}
-	p, err := s.resolvePlanLocked(sql, params)
+	p, _, err := s.resolvePlanLocked(sql, params)
 	if err != nil {
 		return StmtInfo{}, err
 	}
-	return StmtInfo{NumParams: p.NumParams, IsSelect: p.IsSelect()}, nil
+	// NumParams reports the placeholders in the statement as written —
+	// the wire contract — not the plan's count, which fingerprinting
+	// may have raised by turning literals into extra parameters.
+	return StmtInfo{NumParams: n, IsSelect: p.IsSelect()}, nil
 }
 
-// resolvePlanLocked returns the cached plan of (sql, params kinds),
-// preparing and caching it if absent or stale. Both s.mu and the DB
-// read lock must be held.
-func (s *Session) resolvePlanLocked(sql string, params []types.Value) (*engine.Prepared, error) {
+// resolvePlanLocked returns the cached plan of the statement together
+// with the parameter values to execute it with, preparing and caching
+// the plan if absent or stale. Both s.mu and the DB read lock must be
+// held.
+//
+// SELECT statements are fingerprinted first (literals in filter
+// positions rewrite to placeholders, their values merging with the
+// caller's arguments in statement order), so literal variants of one
+// statement shape share a single cached plan. When the statement
+// cannot be normalized — or the caller's argument count does not match
+// its placeholders — the raw text is used and every error reads
+// exactly as it would have without normalization.
+func (s *Session) resolvePlanLocked(sql string, params []types.Value) (*engine.Prepared, []types.Value, error) {
 	db := s.db
-	key := planKey(sql, params)
-	p := s.plans[key]
-	if p == nil || p.Stale(db.eng, params) {
-		var err error
-		p, err = db.eng.Prepare(sql, params...)
-		if err != nil {
-			return nil, err
-		}
-		if p.IsSelect() || p.IsSet() {
-			if len(s.plans) >= maxSessionPlans {
-				s.plans = make(map[string]*engine.Prepared)
-			}
-			s.plans[key] = p
+	execSQL, execParams := sql, params
+	norm := fingerprint.Normalize(sql)
+	if norm.Changed() {
+		if merged, ok := norm.MergeValues(params); ok {
+			execSQL, execParams = norm.SQL, merged
 		}
 	}
-	return p, nil
+	key := planKey(execSQL, execParams)
+	if p := s.plans[key]; p != nil && !p.Stale(db.eng, execParams) {
+		db.planHits.Add(1)
+		return p, execParams, nil
+	}
+	p, err := db.eng.Prepare(execSQL, execParams...)
+	if err != nil {
+		if execSQL != sql {
+			// Normalization is semantics-preserving by construction; if
+			// the rewritten statement nonetheless fails to prepare, fall
+			// back to the raw text so the caller sees exactly the plan —
+			// or the error — it would have seen without normalization.
+			p, err = db.eng.Prepare(sql, params...)
+			if err != nil {
+				return nil, nil, err
+			}
+			db.planMisses.Add(1)
+			s.cachePlanLocked(planKey(sql, params), p)
+			return p, params, nil
+		}
+		return nil, nil, err
+	}
+	db.planMisses.Add(1)
+	s.cachePlanLocked(key, p)
+	return p, execParams, nil
+}
+
+// cachePlanLocked inserts a cacheable plan, dropping the cache
+// wholesale at the size bound; s.mu must be held.
+func (s *Session) cachePlanLocked(key string, p *engine.Prepared) {
+	if !p.IsSelect() && !p.IsSet() {
+		return
+	}
+	if len(s.plans) >= maxSessionPlans {
+		s.plans = make(map[string]*engine.Prepared)
+	}
+	s.plans[key] = p
 }
 
 // applySet scopes SET statements to the session; called by the engine
