@@ -1,25 +1,28 @@
 // Command benchdiff compares -exp parallel / -exp execpar / -exp
-// bfspar / -exp parse JSON artifacts against a committed baseline
-// (bench_baseline.json) and fails when a configuration regressed.
-// Parallel-family points compare self-relative speedups — not absolute
-// seconds — so the check is meaningful across hosts of the same shape;
-// points whose baseline carries no parallel signal (speedup ≤ the
-// signal floor, e.g. a single-core recording host) are skipped and
-// reported. Parse points compare allocs/op, which is a deterministic
-// property of the code rather than the host, so they arm the gate on
-// ANY machine — including hosts whose parallel points all skip — and
-// the tokenize stage is additionally held to a hard zero-allocation
-// invariant that needs no baseline at all.
+// bfspar / -exp parse / -exp trace JSON artifacts against a committed
+// baseline (bench_baseline.json) and fails when a configuration
+// regressed. Parallel-family points compare self-relative speedups —
+// not absolute seconds — so the check is meaningful across hosts of
+// the same shape; points whose baseline carries no parallel signal
+// (speedup ≤ the signal floor, e.g. a single-core recording host) are
+// skipped and reported. Parse points compare allocs/op, which is a
+// deterministic property of the code rather than the host, so they arm
+// the gate on ANY machine — including hosts whose parallel points all
+// skip — and the tokenize stage is additionally held to a hard
+// zero-allocation invariant that needs no baseline at all. Trace
+// points compare the traced/untraced overhead ratio, which is likewise
+// host-comparable because both sides of the ratio run on the same
+// machine seconds apart.
 //
 //	go run ./cmd/benchdiff -baseline bench_baseline.json \
 //	    -parallel parallel.json -execpar execpar.json -bfspar bfspar.json \
-//	    -parse parse.json
+//	    -parse parse.json -trace trace.json
 //
 // Record a fresh baseline with -record:
 //
 //	go run ./cmd/benchdiff -record -baseline bench_baseline.json \
 //	    -parallel parallel.json -execpar execpar.json -bfspar bfspar.json \
-//	    -parse parse.json
+//	    -parse parse.json -trace trace.json
 //
 // Exit codes: 0 ok, 1 regression, 2 nothing compared (every point was
 // skipped — the gate is unarmed, typically a baseline recorded on a
@@ -45,6 +48,7 @@ type Baseline struct {
 	ExecPar  []bench.ExecParPoint  `json:"execpar"`
 	BfsPar   []bench.BfsParPoint   `json:"bfspar,omitempty"`
 	Parse    []bench.ParsePoint    `json:"parse,omitempty"`
+	Trace    []bench.TracePoint    `json:"trace,omitempty"`
 }
 
 func readJSON(path string, v any) error {
@@ -61,7 +65,9 @@ func main() {
 	execparPath := flag.String("execpar", "", "-exp execpar artifact")
 	bfsparPath := flag.String("bfspar", "", "-exp bfspar artifact")
 	parsePath := flag.String("parse", "", "-exp parse artifact")
+	tracePath := flag.String("trace", "", "-exp trace artifact")
 	allocSlack := flag.Float64("max-alloc-growth", 0.5, "fail when a parse stage's allocs/op exceeds baseline by more than this absolute slack")
+	traceSlack := flag.Float64("max-trace-overhead-growth", 0.15, "fail when a workload's traced/untraced overhead ratio exceeds baseline by more than this absolute slack")
 	threshold := flag.Float64("max-regression", 0.25, "fail when speedup drops by more than this fraction")
 	signalFloor := flag.Float64("signal-floor", 1.05, "skip baseline points whose speedup is below this (no parallel signal)")
 	minSeconds := flag.Float64("min-seconds", 0.002, "skip points faster than this (scheduler noise)")
@@ -91,6 +97,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *tracePath != "" {
+		if err := readJSON(*tracePath, &cur.Trace); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *record {
 		cur.Host = *host
@@ -101,8 +112,8 @@ func main() {
 		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("baseline recorded to %s (%d parallel, %d execpar, %d bfspar, %d parse points)\n",
-			*baselinePath, len(cur.Parallel), len(cur.ExecPar), len(cur.BfsPar), len(cur.Parse))
+		fmt.Printf("baseline recorded to %s (%d parallel, %d execpar, %d bfspar, %d parse, %d trace points)\n",
+			*baselinePath, len(cur.Parallel), len(cur.ExecPar), len(cur.BfsPar), len(cur.Parse), len(cur.Trace))
 		return
 	}
 
@@ -204,6 +215,30 @@ func main() {
 		} else {
 			skipped++
 		}
+	}
+	// Trace points gate on the traced/untraced overhead ratio — both
+	// sides of the ratio run on the same machine, so it is comparable
+	// across hosts and arms the gate anywhere, like the parse points.
+	baseTrace := map[string]float64{}
+	for _, p := range base.Trace {
+		baseTrace[p.Workload] = p.OverheadRatio
+	}
+	for _, p := range cur.Trace {
+		key := "trace/" + p.Workload
+		b, ok := baseTrace[p.Workload]
+		if !ok {
+			skipped++
+			fmt.Printf("%-40s (no baseline)          now %5.3fx overhead\n", key, p.OverheadRatio)
+			continue
+		}
+		compared++
+		status := "ok"
+		if p.OverheadRatio > b+*traceSlack {
+			failures++
+			status = "REGRESSION"
+		}
+		fmt.Printf("%-40s baseline %5.3fx overhead  now %5.3fx overhead  %s\n",
+			key, b, p.OverheadRatio, status)
 	}
 	fmt.Printf("\nbenchdiff: %d compared, %d skipped (no baseline match or below signal/noise floors), %d regression(s)\n",
 		compared, skipped, failures)

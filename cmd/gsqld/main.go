@@ -30,7 +30,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only on -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,11 +55,18 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 0, "max time a query may wait for admission before a 503 queue_timeout with Retry-After (0 = wait forever)")
 	cacheEntries := flag.Int("cache-entries", 0, "result-cache entry cap (0 = 512, negative disables the cache)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "result-cache byte budget (0 = 64 MiB)")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "log queries at/over this many milliseconds at WARN as a structured \"slow query\" line (0 disables, negative logs every query)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this address (empty disables; never expose publicly)")
 	flag.Parse()
 
 	if fault.Enabled() {
 		log.Printf("gsqld: FAULT INJECTION ARMED via GSQLD_FAULTS=%q — not for production", os.Getenv("GSQLD_FAULTS"))
 	}
+
+	// The query log is machine-parsed (msg="slow query" key=value
+	// lines), so it gets a real TextHandler rather than slog's
+	// log-package bridge.
+	queryLog := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	srv, err := server.New(server.Config{
 		DefaultGraph:    *graphName,
@@ -70,6 +79,8 @@ func main() {
 		QueueWait:       *queueWait,
 		CacheEntries:    *cacheEntries,
 		CacheBytes:      *cacheBytes,
+		SlowQueryMillis: *slowQueryMS,
+		Logger:          queryLog,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -84,6 +95,18 @@ func main() {
 			log.Fatalf("loading %s: %v", *load, err)
 		}
 		log.Printf("graph %q loaded from %s: %d table(s), generation %d", *graphName, *load, tables, gen)
+	}
+
+	if *debugAddr != "" {
+		// pprof registers on http.DefaultServeMux at import; serving the
+		// default mux on a separate listener keeps profiling off the
+		// query port.
+		go func() {
+			log.Printf("pprof profiling on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

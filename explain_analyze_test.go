@@ -1,0 +1,120 @@
+package graphsql
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"graphsql/internal/testutil"
+)
+
+// planText folds an EXPLAIN [ANALYZE] result (one "QUERY PLAN" string
+// column, one row per line) back into a text block.
+func planText(t *testing.T, res *Result) string {
+	t.Helper()
+	if len(res.Columns) != 1 || res.Columns[0] != "QUERY PLAN" {
+		t.Fatalf("explain result shape: %v", res.Columns)
+	}
+	var b strings.Builder
+	for _, row := range res.Rows {
+		fmt.Fprintln(&b, row[0])
+	}
+	return b.String()
+}
+
+// TestExplainAnalyzeDifferential locks down the EXPLAIN ANALYZE
+// contract at every differential parallelism setting: analyzing a
+// query really executes it (the annotated root reports the true result
+// cardinality) and perturbs nothing — the plain query renders
+// byte-identically before and after, and identically across worker
+// counts.
+func TestExplainAnalyzeDifferential(t *testing.T) {
+	forceParallelOperators(t)
+	for _, p := range differentialSettings() {
+		db := openCorpusDB(t, p)
+		for qi, q := range testutil.Queries() {
+			ref, err := db.Query(q)
+			if err != nil {
+				t.Fatalf("parallelism %d q%02d: %v\nquery: %s", p, qi, err, q)
+			}
+			before := ref.String()
+			plan, err := db.Query("EXPLAIN ANALYZE " + q)
+			if err != nil {
+				t.Fatalf("parallelism %d q%02d: EXPLAIN ANALYZE: %v\nquery: %s", p, qi, err, q)
+			}
+			text := planText(t, plan)
+			firstLine, _, _ := strings.Cut(text, "\n")
+			if !strings.Contains(firstLine, fmt.Sprintf("rows=%d", ref.Len())) {
+				t.Fatalf("parallelism %d q%02d: annotated root does not report the true cardinality %d:\n%s\nquery: %s",
+					p, qi, ref.Len(), text, q)
+			}
+			if !strings.Contains(firstLine, "time=") {
+				t.Fatalf("parallelism %d q%02d: no timing on the root line:\n%s", p, qi, text)
+			}
+			after, err := db.Query(q)
+			if err != nil {
+				t.Fatalf("parallelism %d q%02d: re-run: %v", p, qi, err)
+			}
+			if after.String() != before {
+				t.Fatalf("parallelism %d q%02d: EXPLAIN ANALYZE perturbed the query\nquery: %s\n--- before\n%s--- after\n%s",
+					p, qi, q, before, after.String())
+			}
+		}
+	}
+}
+
+// TestExplainAnalyzeGraphIndexFrontiers is the acceptance scenario: an
+// EXPLAIN ANALYZE over an indexed shortest-path query must show the
+// GraphMatch operator with actual rows, wall time and worker budget,
+// plus the per-level frontier sizes of the BFS underneath it.
+func TestExplainAnalyzeGraphIndexFrontiers(t *testing.T) {
+	db := openCorpusDB(t, 2)
+	if err := db.BuildGraphIndex("knows", "src", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT p1.id, p2.id, CHEAPEST SUM(1) AS hops FROM people p1, people p2
+	      WHERE p1.id REACHES p2.id OVER knows EDGE (src, dst) AND p1.id < 5 AND p2.id > 390`
+	ref, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.Query("EXPLAIN ANALYZE " + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := planText(t, plan)
+	gm := regexp.MustCompile(`GraphMatch .*\(rows=\d+.*time=.*workers=\d+\)`)
+	if !gm.MatchString(text) {
+		t.Fatalf("no annotated GraphMatch operator:\n%s", text)
+	}
+	lvl := regexp.MustCompile(`level \d+: frontier=\d+`)
+	if !lvl.MatchString(text) {
+		t.Fatalf("no BFS frontier level lines:\n%s", text)
+	}
+	if ref.Len() == 0 {
+		t.Fatal("corpus query returned no rows; frontier assertion is vacuous")
+	}
+}
+
+// TestExplainWithoutAnalyze: plain EXPLAIN renders the bound plan
+// without executing, matching DB.Explain.
+func TestExplainWithoutAnalyze(t *testing.T) {
+	db := openCorpusDB(t, 1)
+	q := `SELECT id FROM people WHERE score > 50 ORDER BY id LIMIT 3`
+	want, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("EXPLAIN " + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := planText(t, res)
+	if strings.TrimRight(got, "\n") != strings.TrimRight(want, "\n") {
+		t.Fatalf("EXPLAIN differs from DB.Explain\n--- EXPLAIN\n%s--- Explain()\n%s", got, want)
+	}
+	if strings.Contains(got, "rows=") {
+		t.Fatalf("plain EXPLAIN carries actuals: %s", got)
+	}
+}

@@ -84,6 +84,7 @@ import (
 	"graphsql/internal/engine"
 	"graphsql/internal/exec"
 	"graphsql/internal/storage"
+	"graphsql/internal/trace"
 	"graphsql/internal/types"
 )
 
@@ -431,6 +432,24 @@ func (db *DB) ExecScript(sql string) (*Result, error) {
 	}
 	return chunkToResult(chunk), nil
 }
+
+// Trace is a per-query span recorder: attach one to
+// QueryOptions.Trace and the session records plan resolution, the
+// per-operator execution tree (rows, wall times, worker budgets) and
+// the solver's per-level BFS frontier sizes into it. Read it back with
+// Tree (a JSON-marshalable span tree) or render it with RenderTrace.
+// All methods are safe on a nil *Trace, which disables tracing.
+type Trace = trace.Trace
+
+// TraceNode is one node of a snapshot span tree (Trace.Tree).
+type TraceNode = trace.Node
+
+// NewTrace returns an enabled trace whose clock starts now.
+func NewTrace() *Trace { return trace.New() }
+
+// RenderTrace pretty-prints a span tree as an indented text block, the
+// same rendering EXPLAIN ANALYZE uses.
+func RenderTrace(n *TraceNode) string { return trace.Render(n) }
 
 // Explain returns the optimized logical plan of a SELECT.
 func (db *DB) Explain(sql string, args ...any) (string, error) {

@@ -17,6 +17,7 @@ import (
 	"graphsql/internal/par"
 	"graphsql/internal/plan"
 	"graphsql/internal/storage"
+	"graphsql/internal/trace"
 	"graphsql/internal/types"
 )
 
@@ -222,6 +223,15 @@ func (pg *PreparedGraph) match(stdctx context.Context, gm *plan.GraphMatch, inpu
 	solver := graph.NewSolverWithDelta(pg.CSR, delta)
 	solver.Parallelism = pg.Parallelism
 	solver.Ctx = stdctx
+	if stdctx != nil {
+		// A traced query carries its trace (and the GraphMatch span) in
+		// the context; report each BFS level's frontier size into it.
+		if tr, span, ok := trace.FromContext(stdctx); ok {
+			solver.OnLevel = func(level int64, size int) {
+				tr.AddLevel(span, level, size)
+			}
+		}
+	}
 	sol, err := solver.Solve(srcs, dsts, specs)
 	if err != nil {
 		return nil, err

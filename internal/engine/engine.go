@@ -18,6 +18,7 @@ import (
 	"graphsql/internal/sql/ast"
 	"graphsql/internal/sql/parser"
 	"graphsql/internal/storage"
+	"graphsql/internal/trace"
 	"graphsql/internal/types"
 )
 
@@ -101,6 +102,11 @@ type ExecOptions struct {
 	// name and the validated value (Null when SET ... = DEFAULT). When
 	// it reports handled, the engine state is left untouched.
 	OnSet func(name string, v types.Value) (handled bool, err error)
+	// Trace, when non-nil, records this execution's spans: one
+	// "execute" stage span with the per-operator tree (rows, wall time,
+	// solver frontier levels) nested under it. Nil disables tracing at
+	// zero cost.
+	Trace *trace.Trace
 }
 
 // DefaultExecOptions returns options that inherit every engine default.
@@ -136,10 +142,15 @@ type Prepared struct {
 }
 
 // IsSelect reports whether the statement is a query (safe under a read
-// lock; everything else mutates engine or catalog state).
+// lock; everything else mutates engine or catalog state). EXPLAIN
+// statements count: they only read (EXPLAIN ANALYZE executes the inner
+// SELECT, which is itself read-only).
 func (p *Prepared) IsSelect() bool {
-	_, ok := p.stmt.(*ast.SelectStmt)
-	return ok
+	switch p.stmt.(type) {
+	case *ast.SelectStmt, *ast.ExplainStmt:
+		return true
+	}
+	return false
 }
 
 // IsSet reports whether the statement is a SET. A SET executed with an
@@ -177,8 +188,11 @@ func (e *Engine) Describe(sql string) (numParams int, isSelect bool, err error) 
 	if err != nil {
 		return 0, false, err
 	}
-	_, sel := stmt.(*ast.SelectStmt)
-	return nparams, sel, nil
+	switch stmt.(type) {
+	case *ast.SelectStmt, *ast.ExplainStmt:
+		return nparams, true, nil
+	}
+	return nparams, false, nil
 }
 
 // Prepare parses and, for SELECT statements, binds and rewrites sql.
@@ -201,8 +215,17 @@ func (e *Engine) Prepare(sql string, params ...types.Value) (prep *Prepared, err
 			p.paramKinds[i] = params[i].K
 		}
 	}
-	if sel, ok := stmt.(*ast.SelectStmt); ok {
-		pl, err := analyze.BindSelect(e.cat, sel, params)
+	switch t := stmt.(type) {
+	case *ast.SelectStmt:
+		pl, err := analyze.BindSelect(e.cat, t, params)
+		if err != nil {
+			return nil, err
+		}
+		p.plan = plan.Rewrite(pl)
+	case *ast.ExplainStmt:
+		// Bind the inner SELECT now, so EXPLAIN surfaces bind errors at
+		// prepare time exactly like the statement it wraps.
+		pl, err := analyze.BindSelect(e.cat, t.Stmt, params)
 		if err != nil {
 			return nil, err
 		}
@@ -221,25 +244,89 @@ func (e *Engine) ExecPrepared(ctx context.Context, p *Prepared, opts *ExecOption
 	if p.NumParams > len(params) {
 		return nil, fmt.Errorf("statement uses %d parameters but %d argument(s) were supplied", p.NumParams, len(params))
 	}
-	if sel, ok := p.stmt.(*ast.SelectStmt); ok {
+	switch t := p.stmt.(type) {
+	case *ast.SelectStmt:
 		pl := p.plan
 		if pl == nil {
-			bound, err := analyze.BindSelect(e.cat, sel, params)
+			bound, err := analyze.BindSelect(e.cat, t, params)
 			if err != nil {
 				return nil, err
 			}
 			pl = plan.Rewrite(bound)
 		}
+		return e.execSelect(ctx, pl, params, opts)
+	case *ast.ExplainStmt:
+		return e.execExplain(ctx, t, p.plan, params, opts)
+	}
+	return e.execStmt(ctx, p.stmt, params, opts)
+}
+
+// execSelect interprets a bound plan, attaching the options' trace (if
+// any) so every operator records a span under one "execute" stage.
+func (e *Engine) execSelect(ctx context.Context, pl plan.Node, params []types.Value, opts *ExecOptions) (*storage.Chunk, error) {
+	ectx := &exec.Context{
+		Ctx:          ctx,
+		Expr:         &expr.Context{Params: params},
+		GraphIndexes: e.graphIndexes,
+		Parallelism:  e.effectiveParallelism(opts),
+		Stats:        e.Stats,
+	}
+	if opts != nil && opts.Trace != nil {
+		sp := opts.Trace.Begin(trace.NoSpan, "execute")
+		ectx.Trace = opts.Trace
+		ectx.TraceSpan = sp
+		defer opts.Trace.End(sp)
+	}
+	return exec.Execute(pl, ectx)
+}
+
+// execExplain serves EXPLAIN [ANALYZE]: plain EXPLAIN renders the bound
+// plan tree; ANALYZE executes the inner SELECT under a private trace
+// and renders the operator span tree — actual rows, wall times, worker
+// budgets and per-level solver frontier sizes — next to each node's
+// Describe line. The result is one "QUERY PLAN" string column, one row
+// per output line.
+func (e *Engine) execExplain(ctx context.Context, ex *ast.ExplainStmt, pl plan.Node, params []types.Value, opts *ExecOptions) (*storage.Chunk, error) {
+	if pl == nil {
+		bound, err := analyze.BindSelect(e.cat, ex.Stmt, params)
+		if err != nil {
+			return nil, err
+		}
+		pl = plan.Rewrite(bound)
+	}
+	var text string
+	if !ex.Analyze {
+		text = plan.Explain(pl)
+	} else {
+		// A private trace keeps the rendering to this statement's spans
+		// even when the caller traces the enclosing request.
+		tr := trace.New()
 		ectx := &exec.Context{
 			Ctx:          ctx,
 			Expr:         &expr.Context{Params: params},
 			GraphIndexes: e.graphIndexes,
 			Parallelism:  e.effectiveParallelism(opts),
 			Stats:        e.Stats,
+			Trace:        tr,
+			TraceSpan:    trace.NoSpan,
 		}
-		return exec.Execute(pl, ectx)
+		if _, err := exec.Execute(pl, ectx); err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		for _, c := range tr.Tree().Children {
+			b.WriteString(trace.Render(c))
+		}
+		text = b.String()
 	}
-	return e.execStmt(ctx, p.stmt, params, opts)
+	out := storage.NewColumn(types.KindString, 8)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		out.AppendString(line)
+	}
+	return &storage.Chunk{
+		Schema: storage.Schema{{Name: "QUERY PLAN", Kind: types.KindString}},
+		Cols:   []*storage.Column{out},
+	}, nil
 }
 
 // Query parses, binds, optimizes and executes one statement, returning
@@ -317,15 +404,9 @@ func (e *Engine) execStmt(ctx context.Context, stmt ast.Statement, params []type
 		if err != nil {
 			return nil, err
 		}
-		p = plan.Rewrite(p)
-		ectx := &exec.Context{
-			Ctx:          ctx,
-			Expr:         &expr.Context{Params: params},
-			GraphIndexes: e.graphIndexes,
-			Parallelism:  e.effectiveParallelism(opts),
-			Stats:        e.Stats,
-		}
-		return exec.Execute(p, ectx)
+		return e.execSelect(ctx, plan.Rewrite(p), params, opts)
+	case *ast.ExplainStmt:
+		return e.execExplain(ctx, t, nil, params, opts)
 	case *ast.CreateTableStmt:
 		e.dataVersion.Add(1)
 		return nil, e.execCreateTable(t)

@@ -16,6 +16,7 @@ import (
 	"graphsql/internal/par"
 	"graphsql/internal/plan"
 	"graphsql/internal/storage"
+	"graphsql/internal/trace"
 	"graphsql/internal/types"
 )
 
@@ -42,6 +43,13 @@ type Context struct {
 	Parallelism int
 	// Stats collects optional instrumentation; may be nil.
 	Stats *Stats
+	// Trace, when non-nil, records one span per operator (output rows,
+	// wall time, solver frontier levels). TraceSpan is the open span new
+	// operator spans attach under; creators that set Trace must set
+	// TraceSpan to the parent span (trace.NoSpan for a root). A nil
+	// Trace costs nothing on the execution path.
+	Trace     *trace.Trace
+	TraceSpan trace.SpanID
 	// shared caches the results of Shared (CTE) subplans within one
 	// execution.
 	shared map[*plan.Shared]*storage.Chunk
@@ -78,11 +86,31 @@ func (ctx *Context) Canceled() error {
 	return ctx.Ctx.Err()
 }
 
-// Execute runs a plan and returns the materialized result.
+// Execute runs a plan and returns the materialized result. With a
+// trace attached it brackets every operator in a span carrying the
+// operator's Describe line, wall time and output row count, nested to
+// mirror the plan tree.
 func Execute(n plan.Node, ctx *Context) (*storage.Chunk, error) {
 	if ctx == nil {
 		ctx = &Context{}
 	}
+	tr := ctx.Trace
+	if tr == nil {
+		return execNode(n, ctx)
+	}
+	parent := ctx.TraceSpan
+	sp := tr.Begin(parent, n.Describe())
+	ctx.TraceSpan = sp
+	out, err := execNode(n, ctx)
+	ctx.TraceSpan = parent
+	if out != nil {
+		tr.SetRows(sp, int64(out.NumRows()))
+	}
+	tr.End(sp)
+	return out, err
+}
+
+func execNode(n plan.Node, ctx *Context) (*storage.Chunk, error) {
 	if ctx.Expr == nil {
 		ctx.Expr = &expr.Context{}
 	}
@@ -338,13 +366,24 @@ func execGraphMatch(g *plan.GraphMatch, ctx *Context) (*storage.Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The solver only receives a context.Context, so the trace (and the
+	// GraphMatch span its per-level frontier samples attach to) rides
+	// the context down through core.PreparedGraph.match.
+	stdctx := ctx.Ctx
+	if ctx.Trace != nil {
+		if stdctx == nil {
+			stdctx = context.Background()
+		}
+		stdctx = trace.NewContext(stdctx, ctx.Trace, ctx.TraceSpan)
+		ctx.Trace.SetWorkers(ctx.TraceSpan, par.Workers(ctx.Parallelism))
+	}
 	// A cached dynamic index serves scans of indexed base tables;
 	// rows inserted since the snapshot are absorbed into its delta
 	// (the paper's §6 updatable graph index).
 	if scan, ok := g.Edge.(*plan.Scan); ok && ctx.GraphIndexes != nil {
 		if dg, ok := ctx.GraphIndexes[GraphIndexKey(scan.Table.Name, g.SrcIdx, g.DstIdx)]; ok {
 			before := dg.AppliedRows()
-			rebuilt, err := dg.RefreshCtx(ctx.Ctx, scan.Table.Chunk())
+			rebuilt, err := dg.RefreshCtx(stdctx, scan.Table.Chunk())
 			if err != nil {
 				return nil, err
 			}
@@ -356,14 +395,14 @@ func execGraphMatch(g *plan.GraphMatch, ctx *Context) (*storage.Chunk, error) {
 					ctx.Stats.IndexRefreshes++
 				}
 			}
-			return dg.MatchCtx(ctx.Ctx, g, in, xc, yc, ctx.Expr)
+			return dg.MatchCtx(stdctx, g, in, xc, yc, ctx.Expr)
 		}
 	}
 	edges, err := Execute(g.Edge, ctx)
 	if err != nil {
 		return nil, err
 	}
-	pg, err := core.BuildGraphCtx(ctx.Ctx, edges, g.SrcIdx, g.DstIdx, ctx.Parallelism)
+	pg, err := core.BuildGraphCtx(stdctx, edges, g.SrcIdx, g.DstIdx, ctx.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -372,7 +411,7 @@ func execGraphMatch(g *plan.GraphMatch, ctx *Context) (*storage.Chunk, error) {
 		ctx.Stats.GraphBuildVertices += pg.NumVertices()
 		ctx.Stats.GraphBuildEdges += pg.NumEdges()
 	}
-	return pg.MatchCtx(ctx.Ctx, g, in, xc, yc, ctx.Expr)
+	return pg.MatchCtx(stdctx, g, in, xc, yc, ctx.Expr)
 }
 
 // encodeKey appends a type-tagged, self-delimiting encoding of column

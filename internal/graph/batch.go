@@ -79,6 +79,12 @@ type Solver struct {
 	// aborts a single in-flight traversal within milliseconds rather
 	// than running it to completion.
 	Ctx context.Context
+	// OnLevel, when non-nil, receives one (level, frontier size) sample
+	// per BFS level of every traversal (level 0 is the source itself).
+	// Source groups run concurrently, so the callback must be safe for
+	// concurrent use and samples from distinct sources may interleave.
+	// Observation only — it cannot affect results. Nil is free.
+	OnLevel func(level int64, size int)
 	// forceParallel bypasses the sequential fast-path heuristics (both
 	// across and within source groups) so tests can exercise the worker
 	// pool on tiny inputs.
@@ -336,6 +342,7 @@ func (s *Solver) solveGroup(sc *solverScratch, src VertexID, group []int, dsts [
 		if sc.bfs == nil {
 			sc.bfs = newBFSState(s.n)
 		}
+		sc.bfs.onLevel = s.OnLevel
 		var err error
 		if intra > 1 {
 			_, err = sc.bfs.runBFSParallel(s.g, s.delta, src, sc.wanted, distinct, intra, s.Ctx)

@@ -18,6 +18,10 @@ type bfsState struct {
 	// par holds the frontier-parallel scratch (claim array, per-worker
 	// candidate buffers); nil until the first parallel run.
 	par *bfsParState
+	// onLevel, when non-nil, receives one (level, frontier size) sample
+	// per BFS level (level 0 is the source itself). Set per traversal
+	// from Solver.OnLevel; nil costs one pointer check per dequeue.
+	onLevel func(level int64, size int)
 }
 
 func newBFSState(n int) *bfsState {
@@ -69,6 +73,10 @@ func (s *bfsState) runBFS(g *CSR, delta *Delta, src VertexID, wanted []bool, wan
 		}
 	}
 	s.queue = append(s.queue, src)
+	// The queue pops vertices in non-decreasing dist order, so a dist
+	// change at the head is a level boundary; counting pops per level
+	// reports the same frontier sizes the level-synchronous variant sees.
+	lvl, lvlCount := int64(-1), 0
 	for head := 0; head < len(s.queue); head++ {
 		if ctx != nil && head&(cancelCheckInterval-1) == cancelCheckInterval-1 {
 			if err := ctx.Err(); err != nil {
@@ -77,6 +85,15 @@ func (s *bfsState) runBFS(g *CSR, delta *Delta, src VertexID, wanted []bool, wan
 		}
 		u := s.queue[head]
 		du := s.dist[u]
+		if s.onLevel != nil {
+			if du != lvl {
+				if lvlCount > 0 {
+					s.onLevel(lvl, lvlCount)
+				}
+				lvl, lvlCount = du, 0
+			}
+			lvlCount++
+		}
 		relax := func(v VertexID, row int32) bool {
 			if s.visited(v) {
 				return false
@@ -107,6 +124,9 @@ func (s *bfsState) runBFS(g *CSR, delta *Delta, src VertexID, wanted []bool, wan
 				}
 			}
 		}
+	}
+	if s.onLevel != nil && lvlCount > 0 {
+		s.onLevel(lvl, lvlCount)
 	}
 	return reached, nil
 }

@@ -125,6 +125,11 @@ func (s *bfsState) runBFSParallel(g *CSR, delta *Delta, src VertexID, wanted []b
 		levelHi := len(s.queue)
 		frontier := s.queue[levelLo:levelHi]
 		levelLo = levelHi
+		if s.onLevel != nil {
+			// frontier holds the vertices at distance level-1 about to be
+			// expanded — the same accounting the sequential path reports.
+			s.onLevel(level-1, len(frontier))
+		}
 
 		if len(frontier) < minParallelFrontier || workers <= 1 {
 			// Small level: expand on the calling goroutine. This IS the

@@ -1,0 +1,99 @@
+package server
+
+// In-flight query inspection: every query entering admission registers
+// itself here (before Acquire, so queued queries are visible too) and
+// deregisters when its request finishes. GET /queries renders the
+// table — what is running right now, what stage it is in, how long it
+// has been going, and how many workers it was granted — which is the
+// first thing an operator wants when the server is busy and dashboards
+// only show aggregates.
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphsql/internal/trace"
+)
+
+// inflightQuery is one live entry. workers is atomic because the grant
+// arrives after registration (a queued query has no workers yet).
+type inflightQuery struct {
+	id      uint64
+	graph   string
+	fp      string
+	started time.Time
+	tr      *trace.Trace
+	workers atomic.Int32
+}
+
+// inflightTable is the registry behind GET /queries.
+type inflightTable struct {
+	mu sync.Mutex
+	m  map[uint64]*inflightQuery
+}
+
+func newInflightTable() *inflightTable {
+	return &inflightTable{m: make(map[uint64]*inflightQuery)}
+}
+
+func (t *inflightTable) add(id uint64, graph, fp string, tr *trace.Trace) *inflightQuery {
+	q := &inflightQuery{id: id, graph: graph, fp: fp, started: time.Now(), tr: tr}
+	t.mu.Lock()
+	t.m[id] = q
+	t.mu.Unlock()
+	return q
+}
+
+func (t *inflightTable) remove(id uint64) {
+	t.mu.Lock()
+	delete(t.m, id)
+	t.mu.Unlock()
+}
+
+func (t *inflightTable) snapshot() []*inflightQuery {
+	t.mu.Lock()
+	out := make([]*inflightQuery, 0, len(t.m))
+	for _, q := range t.m {
+		out = append(out, q)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// InFlightQuery is one entry of the GET /queries payload.
+type InFlightQuery struct {
+	ID          uint64 `json:"id"`
+	Graph       string `json:"graph"`
+	Fingerprint string `json:"fingerprint"`
+	// Stage is what the query is doing right now: "admission" while
+	// queued, then the live stage span ("plan", "execute", "encode").
+	Stage     string  `json:"stage,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Workers is the admission grant; 0 while still queued.
+	Workers int `json:"workers,omitempty"`
+}
+
+// QueriesResponse is the GET /queries payload.
+type QueriesResponse struct {
+	Queries []InFlightQuery `json:"queries"`
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, _ *http.Request) {
+	live := s.inflight.snapshot()
+	resp := &QueriesResponse{Queries: make([]InFlightQuery, len(live))}
+	for i, q := range live {
+		resp.Queries[i] = InFlightQuery{
+			ID:          q.id,
+			Graph:       q.graph,
+			Fingerprint: q.fp,
+			Stage:       q.tr.CurrentStage(),
+			ElapsedMS:   time.Since(q.started).Seconds() * 1e3,
+			Workers:     int(q.workers.Load()),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -135,7 +135,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 				if rv == nil {
 					return
 				}
-				s.recordPanic(rv, debug.Stack())
+				s.recordPanic(rv, debug.Stack(), 0, "")
 				s.errors.Add(1)
 				if !rec.wrote {
 					writeJSON(rec, http.StatusInternalServerError,
@@ -146,6 +146,29 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		}()
 		s.httpMetrics.observe(endpoint, rec.status, time.Since(start).Seconds())
 	}
+}
+
+// stageMetrics aggregates per-stage query latency histograms
+// (gsqld_query_stage_seconds): one series per root-level trace span
+// name — cache, admission, plan, execute, encode.
+type stageMetrics struct {
+	mu     sync.Mutex
+	stages map[string]*histogram
+}
+
+func newStageMetrics() *stageMetrics {
+	return &stageMetrics{stages: make(map[string]*histogram)}
+}
+
+func (m *stageMetrics) observe(stage string, seconds float64) {
+	m.mu.Lock()
+	h, ok := m.stages[stage]
+	if !ok {
+		h = &histogram{}
+		m.stages[stage] = h
+	}
+	m.mu.Unlock()
+	h.observe(seconds)
 }
 
 // promWriter accumulates exposition lines with HELP/TYPE headers.
@@ -228,6 +251,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	p.counter("gsqld_plan_cache_hits_total", "Statements that reused a cached session plan (fingerprint-normalized).", planHits)
 	p.counter("gsqld_plan_cache_misses_total", "Statements that parsed, bound and planned from scratch.", planMisses)
+
+	// Per-stage query latency, stages sorted for determinism. The
+	// stages are the root-level trace spans every query records; a
+	// stage absent so far (e.g. no cache configured) simply has no
+	// series yet.
+	s.stageHist.mu.Lock()
+	stageNames := make([]string, 0, len(s.stageHist.stages))
+	for name := range s.stageHist.stages {
+		stageNames = append(stageNames, name)
+	}
+	s.stageHist.mu.Unlock()
+	sort.Strings(stageNames)
+	if len(stageNames) > 0 {
+		p.header("gsqld_query_stage_seconds", "Per-stage query latency (cache, admission, plan, execute, encode).", "histogram")
+		for _, name := range stageNames {
+			s.stageHist.mu.Lock()
+			h := s.stageHist.stages[name]
+			s.stageHist.mu.Unlock()
+			h.mu.Lock()
+			counts := append([]uint64(nil), h.counts...)
+			sum, total := h.sum, h.total
+			h.mu.Unlock()
+			if counts == nil {
+				counts = make([]uint64, len(latencyBuckets)+1)
+			}
+			cum := uint64(0)
+			for i, ub := range latencyBuckets {
+				cum += counts[i]
+				p.value("gsqld_query_stage_seconds_bucket",
+					fmt.Sprintf(`stage=%q,le="%s"`, name, strconv.FormatFloat(ub, 'g', -1, 64)), float64(cum))
+			}
+			cum += counts[len(latencyBuckets)]
+			p.value("gsqld_query_stage_seconds_bucket",
+				fmt.Sprintf(`stage=%q,le="+Inf"`, name), float64(cum))
+			p.value("gsqld_query_stage_seconds_sum", fmt.Sprintf(`stage=%q`, name), sum)
+			p.value("gsqld_query_stage_seconds_count", fmt.Sprintf(`stage=%q`, name), float64(total))
+		}
+	}
 
 	// Per-endpoint HTTP series, endpoints sorted for determinism.
 	s.httpMetrics.mu.Lock()

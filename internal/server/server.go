@@ -20,7 +20,16 @@
 //	GET  /healthz             liveness probe
 //	GET  /stats               counters, admission, cache and registry
 //	                          state as JSON
+//	GET  /queries             in-flight queries: id, fingerprint, live
+//	                          stage, elapsed, granted workers
 //	GET  /metrics             Prometheus text-format exposition
+//
+// Observability: "trace":true on /query or /execute returns the span
+// tree of internal/trace in the response (buffered body or stream
+// trailer); every query emits a structured slog line with per-stage
+// durations (Config.SlowQueryMillis selects the WARN threshold); and
+// /metrics carries per-stage latency histograms
+// (gsqld_query_stage_seconds).
 //
 // Concurrency model: SELECTs over one graph run concurrently (the
 // facade's read lock), writers serialize, and a reload never blocks
@@ -54,7 +63,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -67,6 +76,7 @@ import (
 	"graphsql"
 	"graphsql/internal/fault"
 	"graphsql/internal/sql/fingerprint"
+	"graphsql/internal/trace"
 	"graphsql/internal/wire"
 )
 
@@ -109,6 +119,15 @@ type Config struct {
 	// CacheBytes bounds the result cache's (approximate) memory;
 	// 0 defaults to 64 MiB.
 	CacheBytes int64
+	// Logger receives the structured query log and panic reports;
+	// defaults to slog.Default(). Every completed query logs at DEBUG
+	// ("query"); queries at or over the slow threshold log at WARN
+	// ("slow query").
+	Logger *slog.Logger
+	// SlowQueryMillis is the slow-query log threshold in milliseconds:
+	// positive logs queries at/over it at WARN, zero disables the
+	// slow-query log, negative logs every query (smoke tests).
+	SlowQueryMillis int
 }
 
 func (c *Config) defaults() {
@@ -146,7 +165,13 @@ type Server struct {
 	adm         *Admission
 	cache       *ResultCache // nil when disabled
 	httpMetrics *httpMetrics
+	stageHist   *stageMetrics
+	inflight    *inflightTable
+	logger      *slog.Logger
 	mux         *http.ServeMux
+
+	// queryID numbers queries for the query log and GET /queries.
+	queryID atomic.Uint64
 
 	sessMu   sync.Mutex
 	sessions map[string]*serverSession
@@ -223,11 +248,18 @@ func (ss *serverSession) stmt(id string) (preparedStmt, bool) {
 // New builds a server and registers its default (empty) graph.
 func New(cfg Config) (*Server, error) {
 	cfg.defaults()
+	lg := cfg.Logger
+	if lg == nil {
+		lg = slog.Default()
+	}
 	s := &Server{
 		cfg:         cfg,
 		reg:         NewRegistry(cfg.Parallelism),
 		adm:         NewAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.TotalWorkers, cfg.PerQueryWorkers),
 		httpMetrics: newHTTPMetrics(),
+		stageHist:   newStageMetrics(),
+		inflight:    newInflightTable(),
+		logger:      lg,
 		sessions:    make(map[string]*serverSession),
 		started:     time.Now(),
 	}
@@ -241,6 +273,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /queries", s.instrument("/queries", s.handleQueries))
 	mux.HandleFunc("POST /query", s.instrument("/query", s.handleQuery))
 	mux.HandleFunc("POST /prepare", s.instrument("/prepare", s.handlePrepare))
 	mux.HandleFunc("POST /execute", s.instrument("/execute", s.handleExecute))
@@ -304,11 +337,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // recordPanic counts one contained panic and logs it with the
 // panicking goroutine's stack — the only place the stack goes; wire
-// responses carry just the panic value.
-func (s *Server) recordPanic(v any, stack []byte) {
+// responses carry just the panic value. qid/fp tag the query when the
+// panic was caught inside a query path (the last-resort middleware
+// recover passes zero values: it no longer knows which query it was).
+func (s *Server) recordPanic(v any, stack []byte, qid uint64, fp string) {
 	s.panics.Add(1)
 	s.lastPanic.Store(time.Now().UnixNano())
-	log.Printf("gsqld: contained query panic: %v\n%s", v, stack)
+	s.logger.LogAttrs(context.Background(), slog.LevelError, "contained query panic",
+		slog.Uint64("query_id", qid),
+		slog.String("fingerprint", fp),
+		slog.Any("panic", v),
+		slog.String("stack", string(stack)))
 }
 
 // session resolves (or creates) the named session, updating its LRU
@@ -394,22 +433,25 @@ func (s *Server) failQuery(w http.ResponseWriter, code string, err error) {
 // timeout reports the panic — the more actionable signal.) An injected
 // fault reports internal, not sql_error: the statement was fine, the
 // server hiccuped.
-func (s *Server) failExec(w http.ResponseWriter, ctx context.Context, timedOut func() bool, err error) {
+// It returns the wire code it chose, which the query log records as
+// the outcome.
+func (s *Server) failExec(w http.ResponseWriter, ctx context.Context, timedOut func() bool, err error, qid uint64, fp string) string {
 	var qp *graphsql.QueryPanicError
 	var inj *fault.InjectedError
+	code := wire.CodeSQL
 	switch {
 	case errors.As(err, &qp):
-		s.recordPanic(qp.Value, qp.Stack)
-		s.failQuery(w, wire.CodePanic, err)
+		s.recordPanic(qp.Value, qp.Stack, qid, fp)
+		code = wire.CodePanic
 	case errors.As(err, &inj):
-		s.failQuery(w, wire.CodeInternal, err)
+		code = wire.CodeInternal
 	case timedOut():
-		s.failQuery(w, wire.CodeTimeout, err)
+		code = wire.CodeTimeout
 	case ctx.Err() != nil:
-		s.failQuery(w, wire.CodeCanceled, err)
-	default:
-		s.failQuery(w, wire.CodeSQL, err)
+		code = wire.CodeCanceled
 	}
+	s.failQuery(w, code, err)
+	return code
 }
 
 // retryAfterHeader stamps the Retry-After hint on a load-shedding
@@ -431,6 +473,7 @@ type querySpec struct {
 	timeoutMillis int
 	stream        bool
 	batchRows     int
+	trace         bool
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -451,7 +494,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.runQuery(w, r, querySpec{
 		graph: req.Graph, session: req.Session, sql: req.SQL, args: req.Args,
 		workers: req.Workers, timeoutMillis: req.TimeoutMillis,
-		stream: req.Stream, batchRows: req.BatchRows,
+		stream: req.Stream, batchRows: req.BatchRows, trace: req.Trace,
 	})
 }
 
@@ -486,6 +529,27 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 		ssess = s.session(q.session)
 	}
 
+	// Every query records a trace: its root-level spans (cache,
+	// admission, plan, execute, encode) feed the per-stage latency
+	// histograms and the query log, its open span names GET /queries'
+	// "stage" column, and — when the request set "trace": true — its
+	// tree rides back in the response. The fingerprint identifies the
+	// statement shape in the log, the in-flight listing and the result
+	// cache key without quoting literal values.
+	qid := s.queryID.Add(1)
+	tr := trace.New()
+	norm := fingerprint.Normalize(q.sql)
+	fp := q.sql
+	if norm.Changed() {
+		fp = norm.SQL
+	}
+	start := time.Now()
+	outcome := "ok"
+	rowsOut := -1
+	defer func() {
+		s.finishQuery(qid, graphName, fp, tr, start, outcome, rowsOut)
+	}()
+
 	// Result-cache lookup. The generation and data version are read
 	// BEFORE execution: a write racing this request can at worst make
 	// us store a fresher result under the older key — a key no future
@@ -503,24 +567,40 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 	var key string
 	if s.cache != nil && cacheableSQL(q.sql) {
 		keySQL, keyArgs := q.sql, q.args
-		if norm := fingerprint.Normalize(q.sql); norm.Changed() {
+		if norm.Changed() {
 			if merged, ok := norm.MergeAny(q.args); ok {
 				keySQL, keyArgs = norm.SQL, merged
 			}
 		}
 		key = cacheKey(graphName, gen, db.DataVersion(), keySQL, keyArgs)
 		if key != "" {
-			if res, hit := s.cache.Get(key); hit {
+			spCache := tr.Begin(trace.NoSpan, "cache")
+			res, hit := s.cache.Get(key)
+			tr.End(spCache)
+			tr.SetResultCacheHit(hit)
+			if hit {
 				s.queries.Add(1)
+				rowsOut = len(res.Rows)
 				if q.stream {
-					s.streamResult(w, res, batch)
+					var ttr *trace.Trace
+					if q.trace {
+						ttr = tr
+					}
+					s.streamResult(w, res, batch, ttr)
 					return
 				}
 				// The wire encoding is deterministic, so re-encoding the
 				// stored result reproduces the first response byte for
 				// byte — the cache holds one representation, not two.
-				data, err := wire.FromResult(res).Encode()
+				// (A trace, when requested, is per-request by nature and
+				// rides outside that equivalence.)
+				resp := wire.FromResult(res)
+				if q.trace {
+					resp.Trace = tr.Tree()
+				}
+				data, err := resp.Encode()
 				if err != nil {
+					outcome = wire.CodeInternal
 					s.failQuery(w, wire.CodeInternal, err)
 					return
 				}
@@ -572,26 +652,37 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 		acqCtx, acqCancel = context.WithTimeout(ctx, s.cfg.QueueWait)
 		defer acqCancel()
 	}
+	// Registered before Acquire so queued queries are already visible
+	// in GET /queries (their stage reads "admission").
+	inq := s.inflight.add(qid, graphName, fp, tr)
+	defer s.inflight.remove(qid)
+	spAdm := tr.Begin(trace.NoSpan, "admission")
 	grant, err := s.adm.Acquire(acqCtx, want)
+	tr.End(spAdm)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
+			outcome = wire.CodeQueueFull
 			s.retryAfterHeader(w)
 			s.failQuery(w, wire.CodeQueueFull, err)
 		case timedOut():
+			outcome = wire.CodeTimeout
 			s.failQuery(w, wire.CodeTimeout, err)
 		case ctx.Err() == nil:
 			// Only the queue-wait deadline expired: the client is still
 			// connected and nothing has executed, so a retry (after the
 			// hint) is always safe.
+			outcome = wire.CodeQueueTimeout
 			s.retryAfterHeader(w)
 			s.failQuery(w, wire.CodeQueueTimeout,
 				fmt.Errorf("queued longer than the queue-wait deadline (%s)", s.cfg.QueueWait))
 		default:
+			outcome = wire.CodeCanceled
 			s.failQuery(w, wire.CodeCanceled, err)
 		}
 		return
 	}
+	inq.workers.Store(int32(grant.Workers))
 	// The grant goes back exactly once no matter how this request ends —
 	// including a panic unwinding to the middleware recover, which this
 	// deferred release runs before. The streaming path releases early
@@ -606,7 +697,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 	defer releaseGrant()
 
 	s.queries.Add(1)
-	opts := graphsql.QueryOptions{Workers: grant.Workers}
+	opts := graphsql.QueryOptions{Workers: grant.Workers, Trace: tr}
 	if q.stream {
 		rows, qerr := fsess.QueryRows(ctx, opts, q.sql, q.args...)
 		// Engine work is over once the cursor exists (it walks a stable
@@ -618,7 +709,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 		}
 		releaseGrant()
 		if qerr != nil {
-			s.failExec(w, ctx, timedOut, qerr)
+			outcome = s.failExec(w, ctx, timedOut, qerr, qid, fp)
 			return
 		}
 		// A streaming miss feeds the cache too: the batches are
@@ -630,7 +721,15 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 		if key != "" {
 			collect = &streamCollector{budget: s.cache.AdmissionBudget()}
 		}
-		if s.streamRows(w, ctx, timedOut, rows, batch, collect) && collect != nil && !collect.overflow {
+		var ttr *trace.Trace
+		if q.trace {
+			ttr = tr
+		}
+		failCode, sent := s.streamRows(w, ctx, timedOut, rows, batch, collect, ttr, qid, fp)
+		rowsOut = sent
+		if failCode != "" {
+			outcome = failCode
+		} else if collect != nil && !collect.overflow {
 			s.cache.Put(key, graphName, &graphsql.Result{Columns: rows.Columns, Rows: collect.rows})
 		}
 		return
@@ -643,11 +742,21 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 	}
 	res, err := fsess.QueryOpts(ctx, opts, q.sql, q.args...)
 	if err != nil {
-		s.failExec(w, ctx, timedOut, err)
+		outcome = s.failExec(w, ctx, timedOut, err, qid, fp)
 		return
 	}
-	data, err := wire.FromResult(res).Encode()
+	rowsOut = len(res.Rows)
+	resp := wire.FromResult(res)
+	if q.trace {
+		// Snapshotted before the encode span opens: the tree cannot
+		// describe the encoding it is itself part of.
+		resp.Trace = tr.Tree()
+	}
+	spEnc := tr.Begin(trace.NoSpan, "encode")
+	data, err := resp.Encode()
+	tr.End(spEnc)
 	if err != nil {
+		outcome = wire.CodeInternal
 		s.failQuery(w, wire.CodeInternal, err)
 		return
 	}
@@ -656,6 +765,45 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
+}
+
+// finishQuery closes out one query's observability: stage histograms
+// and the structured query log. Runs deferred from runQuery on every
+// completion path.
+func (s *Server) finishQuery(qid uint64, graph, fp string, tr *trace.Trace, start time.Time, outcome string, rowsOut int) {
+	elapsed := time.Since(start)
+	stages := tr.Stages()
+	for _, st := range stages {
+		s.stageHist.observe(st.Name, st.Dur.Seconds())
+	}
+	lvl, msg := slog.LevelDebug, "query"
+	if ms := s.cfg.SlowQueryMillis; ms != 0 && (ms < 0 || elapsed >= time.Duration(ms)*time.Millisecond) {
+		lvl, msg = slog.LevelWarn, "slow query"
+	}
+	ctx := context.Background()
+	if !s.logger.Enabled(ctx, lvl) {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 8+len(stages))
+	attrs = append(attrs,
+		slog.Uint64("query_id", qid),
+		slog.String("graph", graph),
+		slog.String("fingerprint", fp),
+		slog.String("outcome", outcome),
+		slog.Duration("elapsed", elapsed))
+	if rowsOut >= 0 {
+		attrs = append(attrs, slog.Int("rows", rowsOut))
+	}
+	if hit, seen := tr.ResultCacheHit(); seen {
+		attrs = append(attrs, slog.Bool("cache_hit", hit))
+	}
+	if hit, known := tr.PlanCacheHit(); known {
+		attrs = append(attrs, slog.Bool("plan_cache_hit", hit))
+	}
+	for _, st := range stages {
+		attrs = append(attrs, slog.Duration("stage_"+st.Name, st.Dur))
+	}
+	s.logger.LogAttrs(ctx, lvl, msg, attrs...)
 }
 
 // streamCollector accumulates the batches of a streaming cache miss so
@@ -698,10 +846,12 @@ func (c *streamCollector) add(b [][]any) {
 // server-side encoding failure or a panic (recovered locally — the
 // header is already on the wire, so the middleware could not answer
 // 500; a stream is only ever torn by its error trailer, never
-// silently). It reports whether the stream completed with a clean
-// trailer — only then may the collected result be cached (a recovered
-// panic returns the zero value, false, like every error path).
-func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut func() bool, rows *graphsql.Rows, batch int, collect *streamCollector) bool {
+// silently). It reports the wire code the stream failed with ("" for a
+// clean trailer — only then may the collected result be cached; a
+// recovered panic reports CodePanic like every other failure) and the
+// rows delivered. ttr, when non-nil, is the query's trace, whose tree
+// the success trailer carries ("trace": true requests).
+func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut func() bool, rows *graphsql.Rows, batch int, collect *streamCollector, ttr *trace.Trace, qid uint64, fp string) (failCode string, sent int) {
 	w.Header().Set("Content-Type", wire.StreamContentType)
 	sw := wire.NewStreamWriter(w)
 	// abandon counts a stream the client will never finish reading —
@@ -709,20 +859,23 @@ func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut
 	// batches or as a write error on the dead connection — so streamed
 	// disconnects move the same abandoned/error counters buffered ones
 	// do.
-	abandon := func() {
+	abandon := func(code string) {
 		s.errors.Add(1)
 		s.canceled.Add(1)
+		failCode = code
 	}
 	defer func() {
 		if rv := recover(); rv != nil {
-			s.recordPanic(rv, debug.Stack())
+			s.recordPanic(rv, debug.Stack(), qid, fp)
 			s.errors.Add(1)
+			failCode = wire.CodePanic
+			sent = sw.RowsSent()
 			sw.Fail(wire.CodePanic, fmt.Errorf("query panicked: %v", rv))
 		}
 	}()
 	if err := sw.Header(rows.Columns); err != nil {
-		abandon() // client gone before the first frame
-		return false
+		abandon(wire.CodeCanceled) // client gone before the first frame
+		return failCode, 0
 	}
 	for {
 		b, err := rows.NextBatch(batch)
@@ -732,9 +885,9 @@ func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut
 			if timedOut() {
 				code = wire.CodeTimeout
 			}
-			abandon()
+			abandon(code)
 			sw.Fail(code, err)
-			return false
+			return failCode, sw.RowsSent()
 		}
 		if b == nil {
 			break
@@ -750,22 +903,23 @@ func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut
 			var inj *fault.InjectedError
 			if errors.As(err, &inj) {
 				s.errors.Add(1)
+				failCode = wire.CodeInternal
 				sw.Fail(wire.CodeInternal, err)
-				return false
+				return failCode, sw.RowsSent()
 			}
-			abandon() // client gone mid-stream; nothing left to tell it
-			return false
+			abandon(wire.CodeCanceled) // client gone mid-stream; nothing left to tell it
+			return failCode, sw.RowsSent()
 		}
 	}
-	sw.Trailer()
-	return true
+	sw.Trailer(ttr.Tree())
+	return "", sw.RowsSent()
 }
 
 // streamResult streams an already-materialized (cached) result in the
 // same chunked encoding a live cursor produces. A disconnect counts
 // exactly like one on the live-cursor path, so abandoned-stream
 // metrics don't depend on whether the cache was warm.
-func (s *Server) streamResult(w http.ResponseWriter, res *graphsql.Result, batch int) {
+func (s *Server) streamResult(w http.ResponseWriter, res *graphsql.Result, batch int, ttr *trace.Trace) {
 	w.Header().Set("Content-Type", wire.StreamContentType)
 	sw := wire.NewStreamWriter(w)
 	abandon := func() {
@@ -795,7 +949,7 @@ func (s *Server) streamResult(w http.ResponseWriter, res *graphsql.Result, batch
 			return
 		}
 	}
-	sw.Trailer()
+	sw.Trailer(ttr.Tree())
 }
 
 func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
@@ -864,7 +1018,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	s.runQuery(w, r, querySpec{
 		graph: st.graph, session: req.Session, sql: st.sql, args: req.Args,
 		workers: req.Workers, timeoutMillis: req.TimeoutMillis,
-		stream: req.Stream, batchRows: req.BatchRows,
+		stream: req.Stream, batchRows: req.BatchRows, trace: req.Trace,
 	})
 }
 

@@ -121,12 +121,23 @@ type DeleteStmt struct {
 	Where Expr
 }
 
+// ExplainStmt is EXPLAIN [ANALYZE] <select>. Plain EXPLAIN renders the
+// bound plan tree without executing; EXPLAIN ANALYZE executes the
+// select under a trace and annotates the tree with actual row counts,
+// wall times, worker budgets and solver frontier sizes. Only SELECT
+// (and WITH ... SELECT) statements can be explained.
+type ExplainStmt struct {
+	Analyze bool
+	Stmt    *SelectStmt
+}
+
 func (*SelectStmt) stmt()      {}
 func (*CreateTableStmt) stmt() {}
 func (*InsertStmt) stmt()      {}
 func (*DropTableStmt) stmt()   {}
 func (*DeleteStmt) stmt()      {}
 func (*SetStmt) stmt()         {}
+func (*ExplainStmt) stmt()     {}
 
 // ---------------------------------------------------------------------------
 // Table expressions

@@ -86,7 +86,7 @@ var keywordList = []string{
 	"TRUE", "FALSE", "EXISTS", "DROP", "DELETE",
 	"PRIMARY", "KEY", "DEFAULT", "LATERAL",
 	"ORDINALITY", "NULLS", "FIRST", "LAST",
-	"SET",
+	"SET", "EXPLAIN", "ANALYZE",
 	// Graph extension keywords (paper §2, §3.1):
 	"REACHES", "OVER", "EDGE", "CHEAPEST", "UNNEST",
 	// Type names:

@@ -190,8 +190,28 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 		return p.parseDelete()
 	case "SET":
 		return p.parseSet()
+	case "EXPLAIN":
+		return p.parseExplain()
 	}
 	return nil, p.errorf("unsupported statement %s", t.Text)
+}
+
+// parseExplain consumes EXPLAIN [ANALYZE] <select>. Only SELECT (and
+// WITH ... SELECT) can be explained: write statements would have to
+// run to be analyzed, and refusing them keeps EXPLAIN side-effect-free
+// by construction except for the documented EXPLAIN ANALYZE execution.
+func (p *Parser) parseExplain() (ast.Statement, error) {
+	p.next() // EXPLAIN
+	analyze := p.acceptKeyword("ANALYZE")
+	t := p.peek()
+	if t.Type != lexer.Keyword || (t.Text != "SELECT" && t.Text != "WITH") {
+		return nil, p.errorf("EXPLAIN supports only SELECT statements, found %s", t)
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.ExplainStmt{Analyze: analyze, Stmt: sel}, nil
 }
 
 // parseSet consumes SET name = value | SET name = DEFAULT.

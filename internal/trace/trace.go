@@ -1,0 +1,379 @@
+// Package trace is the per-query span recorder behind EXPLAIN ANALYZE,
+// the "trace" wire field, the structured query log and the /queries
+// in-flight listing.
+//
+// A *Trace is created once per query (or not at all) and threaded down
+// the existing seams: the server brackets resolve/admission/encode, the
+// facade brackets parse/fingerprint/plan-cache, exec.Execute opens one
+// span per operator (rows out, wall time), and the shortest-path solver
+// reports per-level frontier sizes through a callback installed from
+// the trace carried in the context. All methods are nil-receiver-safe:
+// a nil *Trace is the disabled path and performs no work and no
+// allocations, so call sites never branch on "is tracing on".
+//
+// Timing uses a single time.Time epoch captured at New; every span
+// start/end is a time.Since(epoch) — a monotonic-clock read — so spans
+// are immune to wall-clock steps. Spans live in a slab preallocated
+// with the trace (growing only past tracesSlabSize), keeping the traced
+// path to one allocation per query in the common case.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanID indexes a span within its Trace. The zero Trace has no spans;
+// NoSpan is the parent of root-level spans and the id returned by every
+// method on a nil Trace.
+type SpanID int32
+
+// NoSpan is the nil span id: the parent of top-level spans, and what a
+// disabled (nil) Trace returns from Begin.
+const NoSpan SpanID = -1
+
+const slabSize = 24
+
+type levelSample struct {
+	level int64
+	size  int
+}
+
+type span struct {
+	name    string
+	parent  SpanID
+	start   time.Duration // offset from Trace epoch
+	end     time.Duration // -1 while open
+	rows    int64         // -1 = not an operator span
+	workers int
+	levels  []levelSample
+}
+
+// Trace records the spans of one query. Safe for concurrent use: the
+// solver reports frontier levels from worker goroutines while the
+// coordinator opens and closes operator spans.
+type Trace struct {
+	mu    sync.Mutex
+	epoch time.Time
+	spans []span
+	slab  [slabSize]span
+
+	planCacheHit    bool
+	planCacheKnown  bool
+	resultCacheHit  bool
+	resultCacheSeen bool
+}
+
+// New returns an enabled trace whose clock starts now.
+func New() *Trace {
+	t := &Trace{epoch: time.Now()}
+	t.spans = t.slab[:0]
+	return t
+}
+
+// Begin opens a span under parent (NoSpan for a root-level span) and
+// returns its id. On a nil Trace it returns NoSpan without allocating.
+func (t *Trace) Begin(parent SpanID, name string) SpanID {
+	if t == nil {
+		return NoSpan
+	}
+	now := time.Since(t.epoch)
+	t.mu.Lock()
+	id := SpanID(len(t.spans))
+	t.spans = append(t.spans, span{name: name, parent: parent, start: now, end: -1, rows: -1})
+	t.mu.Unlock()
+	return id
+}
+
+// End closes the span. Closing NoSpan (or any id on a nil Trace) is a
+// no-op, so Begin/End pairs need no disabled-path branching.
+func (t *Trace) End(id SpanID) {
+	if t == nil || id < 0 {
+		return
+	}
+	now := time.Since(t.epoch)
+	t.mu.Lock()
+	if int(id) < len(t.spans) {
+		t.spans[id].end = now
+	}
+	t.mu.Unlock()
+}
+
+// SetRows marks the span as an operator span that produced n rows.
+func (t *Trace) SetRows(id SpanID, n int64) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.mu.Lock()
+	if int(id) < len(t.spans) {
+		t.spans[id].rows = n
+	}
+	t.mu.Unlock()
+}
+
+// SetWorkers records the worker budget active inside the span.
+func (t *Trace) SetWorkers(id SpanID, n int) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.mu.Lock()
+	if int(id) < len(t.spans) {
+		t.spans[id].workers = n
+	}
+	t.mu.Unlock()
+}
+
+// AddLevel appends one BFS frontier sample (level number, frontier
+// size) to the span. Called from solver goroutines mid-traversal.
+func (t *Trace) AddLevel(id SpanID, level int64, size int) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.mu.Lock()
+	if int(id) < len(t.spans) {
+		t.spans[id].levels = append(t.spans[id].levels, levelSample{level, size})
+	}
+	t.mu.Unlock()
+}
+
+// Duration reports the recorded wall time of a closed span, or the
+// elapsed-so-far of an open one. Zero on a nil Trace.
+func (t *Trace) Duration(id SpanID) time.Duration {
+	if t == nil || id < 0 {
+		return 0
+	}
+	now := time.Since(t.epoch)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.spans) {
+		return 0
+	}
+	s := t.spans[id]
+	if s.end < 0 {
+		return now - s.start
+	}
+	return s.end - s.start
+}
+
+// CurrentStage names the most recently opened still-open span — what
+// the query is doing right now. Empty when idle or on a nil Trace.
+func (t *Trace) CurrentStage() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.spans) - 1; i >= 0; i-- {
+		if t.spans[i].end < 0 {
+			return t.spans[i].name
+		}
+	}
+	return ""
+}
+
+// SetPlanCacheHit records whether the session plan cache served this
+// query's plan; read back by the query log.
+func (t *Trace) SetPlanCacheHit(hit bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.planCacheHit, t.planCacheKnown = hit, true
+	t.mu.Unlock()
+}
+
+// PlanCacheHit reports the recorded plan-cache outcome; known is false
+// when the query never reached plan resolution (or the trace is nil).
+func (t *Trace) PlanCacheHit() (hit, known bool) {
+	if t == nil {
+		return false, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.planCacheHit, t.planCacheKnown
+}
+
+// SetResultCacheHit records the server result-cache outcome (the
+// lookup happened; hit says whether it was served from memory).
+func (t *Trace) SetResultCacheHit(hit bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.resultCacheHit, t.resultCacheSeen = hit, true
+	t.mu.Unlock()
+}
+
+// ResultCacheHit reports the recorded result-cache outcome; seen is
+// false when no cache lookup happened (or the trace is nil).
+func (t *Trace) ResultCacheHit() (hit, seen bool) {
+	if t == nil {
+		return false, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.resultCacheHit, t.resultCacheSeen
+}
+
+// Stage is one top-level span in flat form: the query log and the
+// per-stage latency histograms consume this view instead of the tree.
+type Stage struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Stages reports the root-level spans (parent NoSpan) in creation
+// order; open spans report elapsed-so-far. Nil on a nil Trace.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.epoch)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Stage
+	for _, s := range t.spans {
+		if s.parent != NoSpan {
+			continue
+		}
+		e := s.end
+		if e < 0 {
+			e = now
+		}
+		out = append(out, Stage{Name: s.name, Dur: e - s.start})
+	}
+	return out
+}
+
+// Level is one frontier sample of a solver span in wire form.
+type Level struct {
+	Level int64 `json:"level"`
+	Size  int   `json:"size"`
+}
+
+// Node is the wire form of a span subtree: what a traced /query
+// response carries (buffered body or stream trailer) and what EXPLAIN
+// ANALYZE renders. Field order is the deterministic JSON encoding
+// order. Rows/RowsIn are pointers so non-operator spans omit them
+// rather than reporting a spurious zero.
+type Node struct {
+	Name     string  `json:"name"`
+	StartUS  int64   `json:"start_us"`
+	DurUS    int64   `json:"dur_us"`
+	Rows     *int64  `json:"rows,omitempty"`
+	RowsIn   *int64  `json:"rows_in,omitempty"`
+	Workers  int     `json:"workers,omitempty"`
+	Levels   []Level `json:"levels,omitempty"`
+	Children []*Node `json:"children,omitempty"`
+}
+
+// Tree snapshots the spans as a tree under a synthetic root named
+// "query" spanning the whole trace. Open spans are reported as if they
+// ended now. Nil on a nil Trace.
+func (t *Trace) Tree() *Node {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.epoch)
+	t.mu.Lock()
+	spans := make([]span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+
+	root := &Node{Name: "query"}
+	nodes := make([]*Node, len(spans))
+	var end time.Duration
+	for i, s := range spans {
+		e := s.end
+		if e < 0 {
+			e = now
+		}
+		if e > end {
+			end = e
+		}
+		n := &Node{
+			Name:    s.name,
+			StartUS: s.start.Microseconds(),
+			DurUS:   (e - s.start).Microseconds(),
+			Workers: s.workers,
+		}
+		if s.rows >= 0 {
+			rows := s.rows
+			n.Rows = &rows
+		}
+		if len(s.levels) > 0 {
+			n.Levels = make([]Level, len(s.levels))
+			for j, l := range s.levels {
+				n.Levels[j] = Level{Level: l.level, Size: l.size}
+			}
+		}
+		nodes[i] = n
+		if s.parent >= 0 && int(s.parent) < len(nodes) && nodes[s.parent] != nil {
+			nodes[s.parent].Children = append(nodes[s.parent].Children, n)
+		} else {
+			root.Children = append(root.Children, n)
+		}
+	}
+	root.DurUS = end.Microseconds()
+	fillRowsIn(root)
+	return root
+}
+
+// fillRowsIn derives each operator span's input row count as the sum of
+// its operator children's outputs (a leaf scan has no input).
+func fillRowsIn(n *Node) {
+	var in int64
+	seen := false
+	for _, c := range n.Children {
+		fillRowsIn(c)
+		if c.Rows != nil {
+			in += *c.Rows
+			seen = true
+		}
+	}
+	if n.Rows != nil && seen {
+		n.RowsIn = &in
+	}
+}
+
+// Render pretty-prints a span tree as the indented text block EXPLAIN
+// ANALYZE and gsql -trace show: one line per span with actual rows and
+// wall time, frontier samples as sub-lines of solver spans.
+func Render(root *Node) string {
+	if root == nil {
+		return ""
+	}
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Name)
+		b.WriteString(" (")
+		if n.Rows != nil {
+			fmt.Fprintf(&b, "rows=%d, ", *n.Rows)
+		}
+		if n.RowsIn != nil {
+			fmt.Fprintf(&b, "rows_in=%d, ", *n.RowsIn)
+		}
+		fmt.Fprintf(&b, "time=%s", durString(n.DurUS))
+		if n.Workers > 0 {
+			fmt.Fprintf(&b, ", workers=%d", n.Workers)
+		}
+		b.WriteString(")\n")
+		for _, l := range n.Levels {
+			b.WriteString(strings.Repeat("  ", depth+1))
+			fmt.Fprintf(&b, "level %d: frontier=%d\n", l.Level, l.Size)
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}
+
+func durString(us int64) string {
+	return time.Duration(us * int64(time.Microsecond)).String()
+}

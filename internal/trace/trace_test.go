@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTraceZeroAllocs pins the disabled path's contract: a nil
+// *Trace must perform no allocations anywhere on the hot path, so the
+// exec and solver seams can call it unconditionally.
+func TestNilTraceZeroAllocs(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin(NoSpan, "op")
+		tr.SetRows(sp, 42)
+		tr.SetWorkers(sp, 4)
+		tr.AddLevel(sp, 3, 128)
+		tr.End(sp)
+		_ = tr.Duration(sp)
+		_ = tr.CurrentStage()
+		tr.SetPlanCacheHit(true)
+		tr.SetResultCacheHit(true)
+		_ = tr.Stages()
+		_ = tr.Tree()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil trace allocated %.1f per op, want 0", allocs)
+	}
+}
+
+func TestSpanTreeAndRowsIn(t *testing.T) {
+	tr := New()
+	exec := tr.Begin(NoSpan, "execute")
+	proj := tr.Begin(exec, "Project")
+	scan1 := tr.Begin(proj, "Scan a")
+	tr.SetRows(scan1, 10)
+	tr.End(scan1)
+	scan2 := tr.Begin(proj, "Scan b")
+	tr.SetRows(scan2, 5)
+	tr.AddLevel(scan2, 0, 1)
+	tr.AddLevel(scan2, 1, 7)
+	tr.SetWorkers(scan2, 3)
+	tr.End(scan2)
+	tr.SetRows(proj, 8)
+	tr.End(proj)
+	tr.End(exec)
+
+	root := tr.Tree()
+	if root.Name != "query" || len(root.Children) != 1 {
+		t.Fatalf("root: %+v", root)
+	}
+	ex := root.Children[0]
+	if ex.Name != "execute" || ex.Rows != nil || len(ex.Children) != 1 {
+		t.Fatalf("execute node: %+v", ex)
+	}
+	pr := ex.Children[0]
+	if pr.Rows == nil || *pr.Rows != 8 {
+		t.Fatalf("project rows: %+v", pr.Rows)
+	}
+	// rows_in = sum of operator children's outputs.
+	if pr.RowsIn == nil || *pr.RowsIn != 15 {
+		t.Fatalf("project rows_in: %+v", pr.RowsIn)
+	}
+	if len(pr.Children) != 2 {
+		t.Fatalf("project children: %d", len(pr.Children))
+	}
+	sc := pr.Children[1]
+	if sc.Workers != 3 || len(sc.Levels) != 2 || sc.Levels[1] != (Level{Level: 1, Size: 7}) {
+		t.Fatalf("scan b: %+v", sc)
+	}
+
+	text := Render(ex)
+	for _, want := range []string{"Project (rows=8, rows_in=15", "level 0: frontier=1", "level 1: frontier=7", "workers=3"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered tree missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStagesAndCurrentStage(t *testing.T) {
+	tr := New()
+	a := tr.Begin(NoSpan, "admission")
+	tr.End(a)
+	e := tr.Begin(NoSpan, "execute")
+	inner := tr.Begin(e, "Scan")
+	if got := tr.CurrentStage(); got != "Scan" {
+		t.Fatalf("CurrentStage = %q, want Scan", got)
+	}
+	tr.End(inner)
+	if got := tr.CurrentStage(); got != "execute" {
+		t.Fatalf("CurrentStage = %q, want execute", got)
+	}
+	tr.End(e)
+	st := tr.Stages()
+	if len(st) != 2 || st[0].Name != "admission" || st[1].Name != "execute" {
+		t.Fatalf("Stages = %+v", st)
+	}
+	for _, s := range st {
+		if s.Dur < 0 {
+			t.Fatalf("negative stage duration: %+v", s)
+		}
+	}
+}
+
+// TestConcurrentLevelSamples exercises the solver-side contract: level
+// samples arrive from worker goroutines while the coordinator opens
+// and closes spans. Run under -race.
+func TestConcurrentLevelSamples(t *testing.T) {
+	tr := New()
+	sp := tr.Begin(NoSpan, "GraphMatch")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.AddLevel(sp, int64(i), w)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		s := tr.Begin(sp, "op")
+		tr.End(s)
+	}
+	wg.Wait()
+	tr.End(sp)
+	root := tr.Tree()
+	gm := root.Children[0]
+	if len(gm.Levels) != 400 {
+		t.Fatalf("got %d level samples, want 400", len(gm.Levels))
+	}
+	if len(gm.Children) != 50 {
+		t.Fatalf("got %d children, want 50", len(gm.Children))
+	}
+}
+
+// TestDurationOpenSpan: open spans report elapsed-so-far, closed spans
+// a fixed duration.
+func TestDurationOpenSpan(t *testing.T) {
+	tr := New()
+	sp := tr.Begin(NoSpan, "execute")
+	time.Sleep(2 * time.Millisecond)
+	if d := tr.Duration(sp); d < time.Millisecond {
+		t.Fatalf("open span duration %v, want >= 1ms", d)
+	}
+	tr.End(sp)
+	d1 := tr.Duration(sp)
+	time.Sleep(2 * time.Millisecond)
+	if d2 := tr.Duration(sp); d2 != d1 {
+		t.Fatalf("closed span duration moved: %v -> %v", d1, d2)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"io"
 
 	"graphsql/internal/fault"
+	"graphsql/internal/trace"
 )
 
 // StreamContentType is the Content-Type of chunked query responses.
@@ -56,10 +57,13 @@ type StreamBatch struct {
 }
 
 // StreamTrailer is the final frame: the total delivered row count and,
-// on failure, the error that cut the stream short.
+// on failure, the error that cut the stream short. When the request
+// asked for a trace, the span tree rides in the trailer (it is only
+// complete once the last row has been sent).
 type StreamTrailer struct {
-	RowCount int    `json:"row_count"`
-	Error    *Error `json:"error,omitempty"`
+	RowCount int         `json:"row_count"`
+	Trace    *trace.Node `json:"trace,omitempty"`
+	Error    *Error      `json:"error,omitempty"`
 }
 
 // flusher is the subset of http.Flusher the writer uses; declared
@@ -128,9 +132,10 @@ func (sw *StreamWriter) Batch(rows [][]any) error {
 	return sw.frame(&StreamBatch{Rows: enc})
 }
 
-// Trailer writes the success trailer.
-func (sw *StreamWriter) Trailer() error {
-	return sw.frame(&StreamTrailer{RowCount: sw.sent})
+// Trailer writes the success trailer. tr, when non-nil, is the query's
+// span tree (requested via "trace": true).
+func (sw *StreamWriter) Trailer(tr *trace.Node) error {
+	return sw.frame(&StreamTrailer{RowCount: sw.sent, Trace: tr})
 }
 
 // Fail writes an error trailer carrying the rows delivered so far.
@@ -150,10 +155,11 @@ func FoldStream(r io.Reader) (*QueryResponse, int, error) {
 	dec.UseNumber()
 	// frame is the union of all three frame shapes.
 	type frame struct {
-		Columns  *[]string `json:"columns"`
-		Rows     *[][]any  `json:"rows"`
-		RowCount *int      `json:"row_count"`
-		Error    *Error    `json:"error"`
+		Columns  *[]string   `json:"columns"`
+		Rows     *[][]any    `json:"rows"`
+		RowCount *int        `json:"row_count"`
+		Trace    *trace.Node `json:"trace"`
+		Error    *Error      `json:"error"`
 	}
 	out := &QueryResponse{}
 	batches := 0
@@ -184,6 +190,7 @@ func FoldStream(r io.Reader) (*QueryResponse, int, error) {
 			out.Rows = append(out.Rows, *f.Rows...)
 		case f.RowCount != nil || f.Error != nil:
 			sawTrailer = true
+			out.Trace = f.Trace
 			if f.Error != nil {
 				// Partial rows are not a result; fold into the buffered
 				// error shape.

@@ -41,7 +41,7 @@ func TestStreamRoundTrip(t *testing.T) {
 	if err := sw.Batch(res.Rows[2:]); err != nil {
 		t.Fatal(err)
 	}
-	if err := sw.Trailer(); err != nil {
+	if err := sw.Trailer(nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -97,7 +97,7 @@ func TestStreamEmptyResult(t *testing.T) {
 	if err := sw.Batch(nil); err != nil { // skipped, not a frame
 		t.Fatal(err)
 	}
-	if err := sw.Trailer(); err != nil {
+	if err := sw.Trailer(nil); err != nil {
 		t.Fatal(err)
 	}
 	folded, batches, err := FoldStream(&buf)

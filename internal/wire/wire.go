@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"graphsql"
+	"graphsql/internal/trace"
 )
 
 // Error codes. Stable strings, part of the wire contract.
@@ -89,6 +90,11 @@ type QueryRequest struct {
 	// BatchRows caps the rows per streamed batch frame (0 =
 	// DefaultBatchRows, clamped to MaxBatchRows).
 	BatchRows int `json:"batch_rows,omitempty"`
+	// Trace requests the query's span tree (plan resolution, admission
+	// wait, per-operator timings, solver frontier levels) in the
+	// response: the `trace` field of the buffered QueryResponse, or of
+	// the trailer frame when streaming.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // PrepareRequest is the POST /prepare payload: parse (and, for SELECT,
@@ -124,21 +130,25 @@ type ExecuteRequest struct {
 	StatementID string `json:"statement_id"`
 	// Args bind the statement's ? placeholders.
 	Args []any `json:"args,omitempty"`
-	// Workers, TimeoutMillis, Stream and BatchRows behave exactly as on
-	// QueryRequest.
+	// Workers, TimeoutMillis, Stream, BatchRows and Trace behave exactly
+	// as on QueryRequest.
 	Workers       int  `json:"workers,omitempty"`
 	TimeoutMillis int  `json:"timeout_ms,omitempty"`
 	Stream        bool `json:"stream,omitempty"`
 	BatchRows     int  `json:"batch_rows,omitempty"`
+	Trace         bool `json:"trace,omitempty"`
 }
 
 // QueryResponse is the POST /query result payload. Exactly one of
-// (Columns+Rows) and Error is populated.
+// (Columns+Rows) and Error is populated. Trace is attached only when
+// the request set "trace": true; it never affects the row payload, so
+// untraced responses stay byte-identical to earlier releases.
 type QueryResponse struct {
-	Columns  []string `json:"columns,omitempty"`
-	Rows     [][]any  `json:"rows,omitempty"`
-	RowCount int      `json:"row_count"`
-	Error    *Error   `json:"error,omitempty"`
+	Columns  []string    `json:"columns,omitempty"`
+	Rows     [][]any     `json:"rows,omitempty"`
+	RowCount int         `json:"row_count"`
+	Trace    *trace.Node `json:"trace,omitempty"`
+	Error    *Error      `json:"error,omitempty"`
 }
 
 // PathValue is the wire form of a nested-table path cell.

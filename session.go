@@ -7,6 +7,7 @@ import (
 	"graphsql/internal/engine"
 	"graphsql/internal/sql/fingerprint"
 	"graphsql/internal/storage"
+	"graphsql/internal/trace"
 	"graphsql/internal/types"
 )
 
@@ -52,6 +53,11 @@ type QueryOptions struct {
 	// the session's SET parallelism, which beats the DB default. 0 (or
 	// negative) inherits.
 	Workers int
+	// Trace, when non-nil, records the statement's spans: plan
+	// resolution (fingerprint, parse/bind on a plan-cache miss) and the
+	// per-operator execution tree. Create one with NewTrace. Nil — the
+	// default — disables tracing at zero cost.
+	Trace *trace.Trace
 }
 
 // Query runs one statement in the session. SET statements update the
@@ -74,11 +80,13 @@ func (s *Session) QueryOpts(ctx context.Context, qo QueryOptions, sql string, ar
 	if qo.Workers > 0 {
 		override = qo.Workers
 	}
-	opts := &engine.ExecOptions{Parallelism: override, OnSet: s.applySet}
+	opts := &engine.ExecOptions{Parallelism: override, OnSet: s.applySet, Trace: qo.Trace}
 
 	db := s.db
 	db.mu.RLock()
-	p, execParams, err := s.resolvePlanLocked(sql, params)
+	spPlan := qo.Trace.Begin(trace.NoSpan, "plan")
+	p, execParams, err := s.resolvePlanTraced(qo.Trace, spPlan, sql, params)
+	qo.Trace.End(spPlan)
 	if err != nil {
 		db.mu.RUnlock()
 		return nil, err
@@ -128,11 +136,13 @@ func (s *Session) QueryRows(ctx context.Context, qo QueryOptions, sql string, ar
 	if qo.Workers > 0 {
 		override = qo.Workers
 	}
-	opts := &engine.ExecOptions{Parallelism: override, OnSet: s.applySet}
+	opts := &engine.ExecOptions{Parallelism: override, OnSet: s.applySet, Trace: qo.Trace}
 
 	db := s.db
 	db.mu.RLock()
-	p, execParams, err := s.resolvePlanLocked(sql, params)
+	spPlan := qo.Trace.Begin(trace.NoSpan, "plan")
+	p, execParams, err := s.resolvePlanTraced(qo.Trace, spPlan, sql, params)
+	qo.Trace.End(spPlan)
 	if err != nil {
 		db.mu.RUnlock()
 		return nil, err
@@ -204,7 +214,7 @@ func (s *Session) Prepare(sql string, args ...any) (StmtInfo, error) {
 	if len(params) < n {
 		return StmtInfo{NumParams: n, IsSelect: isSel}, nil
 	}
-	p, _, err := s.resolvePlanLocked(sql, params)
+	p, _, err := s.resolvePlanTraced(nil, trace.NoSpan, sql, params)
 	if err != nil {
 		return StmtInfo{}, err
 	}
@@ -227,19 +237,32 @@ func (s *Session) Prepare(sql string, args ...any) (StmtInfo, error) {
 // its placeholders — the raw text is used and every error reads
 // exactly as it would have without normalization.
 func (s *Session) resolvePlanLocked(sql string, params []types.Value) (*engine.Prepared, []types.Value, error) {
+	return s.resolvePlanTraced(nil, trace.NoSpan, sql, params)
+}
+
+// resolvePlanTraced is resolvePlanLocked recording fingerprint and
+// prepare spans (and the plan-cache outcome) into tr; a nil tr records
+// nothing.
+func (s *Session) resolvePlanTraced(tr *trace.Trace, parent trace.SpanID, sql string, params []types.Value) (*engine.Prepared, []types.Value, error) {
 	db := s.db
 	execSQL, execParams := sql, params
+	spFp := tr.Begin(parent, "fingerprint")
 	norm := fingerprint.Normalize(sql)
 	if norm.Changed() {
 		if merged, ok := norm.MergeValues(params); ok {
 			execSQL, execParams = norm.SQL, merged
 		}
 	}
+	tr.End(spFp)
 	key := planKey(execSQL, execParams)
 	if p := s.plans[key]; p != nil && !p.Stale(db.eng, execParams) {
 		db.planHits.Add(1)
+		tr.SetPlanCacheHit(true)
 		return p, execParams, nil
 	}
+	tr.SetPlanCacheHit(false)
+	spPrep := tr.Begin(parent, "prepare")
+	defer tr.End(spPrep)
 	p, err := db.eng.Prepare(execSQL, execParams...)
 	if err != nil {
 		if execSQL != sql {
