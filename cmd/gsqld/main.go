@@ -101,6 +101,7 @@ func main() {
 		// pprof registers on http.DefaultServeMux at import; serving the
 		// default mux on a separate listener keeps profiling off the
 		// query port.
+		//gsqlvet:allow parbudget process-lifetime debug listener, not per-query work
 		go func() {
 			log.Printf("pprof profiling on %s/debug/pprof/", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
@@ -111,6 +112,7 @@ func main() {
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	done := make(chan error, 1)
+	//gsqlvet:allow parbudget HTTP accept loop; per-query concurrency is budgeted at admission
 	go func() { done <- hs.ListenAndServe() }()
 	log.Printf("gsqld listening on %s (default graph %q)", *addr, *graphName)
 

@@ -1,0 +1,255 @@
+// Command gsqlvet runs the graphsql custom analyzer suite
+// (internal/lint): static checks for the engine invariants the type
+// system cannot express — ctx propagation on the request path,
+// deterministic result construction, balanced trace spans, registered
+// fault points, budgeted concurrency, and wire-format stability.
+//
+// Two modes:
+//
+//	gsqlvet [packages]             standalone; loads packages itself
+//	go vet -vettool=$(which gsqlvet) ./...   as a vet tool
+//
+// The vet-tool mode speaks cmd/go's unitchecker protocol: it answers
+// -V=full with a content hash of its own binary (so the build cache
+// invalidates when the suite changes), answers -flags with its flag
+// set, and otherwise expects a single *.cfg argument describing one
+// package — files, import map, and export data — prepared by cmd/go.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"graphsql/internal/lint"
+	"graphsql/internal/lint/analysis"
+	"graphsql/internal/lint/driver"
+	"graphsql/internal/lint/loader"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		fmt.Printf("gsqlvet version v0.0.0-%s\n", selfHash())
+		return
+	case len(args) == 1 && args[0] == "-flags":
+		// No tool-specific flags; cmd/go only needs valid JSON here.
+		fmt.Println("[]")
+		return
+	case len(args) >= 1 && strings.HasSuffix(args[len(args)-1], ".cfg"):
+		os.Exit(unitcheck(args[len(args)-1]))
+	default:
+		os.Exit(standalone(args))
+	}
+}
+
+// selfHash content-hashes the running binary. cmd/go folds the -V=full
+// output into every vet action's cache key, so a rebuilt gsqlvet (new
+// analyzer, changed gate) re-vets everything instead of serving stale
+// clean results.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+func standalone(patterns []string) int {
+	root, err := loader.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsqlvet:", err)
+		return 1
+	}
+	env, err := loader.NewEnv(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsqlvet:", err)
+		return 1
+	}
+	pkgs, err := env.Load()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsqlvet:", err)
+		return 1
+	}
+	targets := make([]*driver.Target, 0, len(pkgs))
+	for _, p := range pkgs {
+		targets = append(targets, &driver.Target{
+			Fset: p.Fset, Files: p.Files, Pkg: p.Types, TypesInfo: p.TypesInfo,
+		})
+	}
+	findings, err := driver.Run(lint.Analyzers, targets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsqlvet:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f.String())
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON cmd/go writes for each vet action; field
+// names are the protocol.
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsqlvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "gsqlvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The suite exports no facts, but cmd/go propagates this file into
+	// dependents' PackageVetx maps, so it must exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("gsqlvet\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "gsqlvet:", err)
+			return 1
+		}
+	}
+	// Dependency-only visit: nothing to report, no facts to compute.
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags, err := checkPackage(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "gsqlvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func checkPackage(cfg *vetConfig) ([]string, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// The suite checks production code only; test variants reuse the
+		// package's production files, which are vetted on their own.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImp.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tcfg := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range lint.Analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	diags = analysis.Filter(fset, files, diags)
+
+	out := make([]string, 0, len(diags))
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		out = append(out, fmt.Sprintf("%s: %s: %s", posn, d.Analyzer, d.Message))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

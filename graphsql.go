@@ -266,6 +266,7 @@ func (db *DB) MustExec(sql string, args ...any) {
 // Supported argument types: int, int32, int64, float32, float64,
 // string, bool, time.Time (bound as DATE), and nil.
 func (db *DB) Query(sql string, args ...any) (*Result, error) {
+	//gsqlvet:allow ctxprop non-ctx compat wrapper; cancellable callers use QueryCtx
 	return db.QueryCtx(context.Background(), sql, args...)
 }
 

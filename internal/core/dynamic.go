@@ -108,6 +108,7 @@ func (dg *DynamicGraph) rebuildThreshold() int {
 // unchanged (append-only contract). Returns whether a full rebuild
 // happened.
 func (dg *DynamicGraph) Refresh(current *storage.Chunk) (rebuilt bool, err error) {
+	//gsqlvet:allow ctxprop non-ctx compat wrapper; request paths use RefreshCtx
 	return dg.RefreshCtx(context.Background(), current)
 }
 
@@ -219,6 +220,7 @@ func (dg *DynamicGraph) Solver() *graph.Solver {
 
 // Match runs a GraphMatch through the dynamic index (snapshot+delta).
 func (dg *DynamicGraph) Match(gm *plan.GraphMatch, input *storage.Chunk, xCol, yCol *storage.Column, ctx *expr.Context) (*storage.Chunk, error) {
+	//gsqlvet:allow ctxprop non-ctx compat wrapper; request paths use MatchCtx
 	return dg.MatchCtx(context.Background(), gm, input, xCol, yCol, ctx)
 }
 

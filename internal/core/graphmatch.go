@@ -63,6 +63,7 @@ func BuildGraph(edges *storage.Chunk, srcIdx, dstIdx int) (*PreparedGraph, error
 // graph inherit the same budget. The graph is bit-identical to a
 // sequential build at any setting.
 func BuildGraphP(edges *storage.Chunk, srcIdx, dstIdx, parallelism int) (*PreparedGraph, error) {
+	//gsqlvet:allow ctxprop non-ctx compat wrapper; request paths use BuildGraphCtx
 	return BuildGraphCtx(context.Background(), edges, srcIdx, dstIdx, parallelism)
 }
 
@@ -160,6 +161,7 @@ func (pg *PreparedGraph) encodeColumn(c *storage.Column) []graph.VertexID {
 // optional path) column per CheapestSpec. X and Y are the evaluated
 // key columns of the input chunk.
 func (pg *PreparedGraph) Match(gm *plan.GraphMatch, input *storage.Chunk, xCol, yCol *storage.Column, ctx *expr.Context) (*storage.Chunk, error) {
+	//gsqlvet:allow ctxprop non-ctx compat wrapper; request paths use MatchCtx
 	return pg.MatchCtx(context.Background(), gm, input, xCol, yCol, ctx)
 }
 

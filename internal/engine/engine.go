@@ -332,6 +332,7 @@ func (e *Engine) execExplain(ctx context.Context, ex *ast.ExplainStmt, pl plan.N
 // Query parses, binds, optimizes and executes one statement, returning
 // its result chunk (nil for statements without results).
 func (e *Engine) Query(sql string, params ...types.Value) (*storage.Chunk, error) {
+	//gsqlvet:allow ctxprop non-ctx compat wrapper; cancellable callers use QueryCtx
 	return e.QueryCtx(context.Background(), sql, params...)
 }
 
@@ -354,6 +355,7 @@ func (e *Engine) QueryOpts(ctx context.Context, opts *ExecOptions, sql string, p
 // ExecScript runs a semicolon-separated script, returning the result
 // of the last statement.
 func (e *Engine) ExecScript(sql string, params ...types.Value) (*storage.Chunk, error) {
+	//gsqlvet:allow ctxprop non-ctx compat wrapper; cancellable callers use ExecScriptCtx
 	return e.ExecScriptCtx(context.Background(), sql, params...)
 }
 

@@ -94,6 +94,14 @@ func Execute(n plan.Node, ctx *Context) (*storage.Chunk, error) {
 	if ctx == nil {
 		ctx = &Context{}
 	}
+	if ctx.Ctx == nil {
+		// Direct exec callers (tests, embedded use) may not carry a
+		// context; normalizing here keeps every operator below — and the
+		// solver the GraphMatch operator hands off to — on one non-nil
+		// context instead of each re-deciding.
+		//gsqlvet:allow ctxprop library entry point; engine callers always set Ctx
+		ctx.Ctx = context.Background()
+	}
 	tr := ctx.Trace
 	if tr == nil {
 		return execNode(n, ctx)
@@ -371,9 +379,6 @@ func execGraphMatch(g *plan.GraphMatch, ctx *Context) (*storage.Chunk, error) {
 	// the context down through core.PreparedGraph.match.
 	stdctx := ctx.Ctx
 	if ctx.Trace != nil {
-		if stdctx == nil {
-			stdctx = context.Background()
-		}
 		stdctx = trace.NewContext(stdctx, ctx.Trace, ctx.TraceSpan)
 		ctx.Trace.SetWorkers(ctx.TraceSpan, par.Workers(ctx.Parallelism))
 	}

@@ -218,7 +218,11 @@ func SetSpec(spec string) error {
 func Reset() { active.Store(nil) }
 
 // Parse parses the GSQLD_FAULTS grammar into rules without installing
-// them.
+// them. Every rule must name a registered injection point (see
+// Registry): a typo'd point would otherwise arm an inert schedule that
+// never fires, which in a chaos run reads as "survived injection" when
+// nothing was injected at all. Programmatic rules built with Set are
+// not subject to the registry, so tests can exercise synthetic points.
 func Parse(spec string) ([]Rule, error) {
 	var rules []Rule
 	for _, part := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
@@ -231,6 +235,9 @@ func Parse(spec string) ([]Rule, error) {
 			return nil, fmt.Errorf("fault: rule %q: want point:kind[:opt...]", part)
 		}
 		r := Rule{Point: strings.TrimSpace(fields[0])}
+		if !Known(r.Point) {
+			return nil, unknownPointError(part, r.Point)
+		}
 		switch strings.TrimSpace(fields[1]) {
 		case "error":
 			r.Kind = KindError

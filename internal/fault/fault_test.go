@@ -139,6 +139,7 @@ func TestParse(t *testing.T) {
 		"solver.group:latency",       // latency without ms
 		"solver.group:panic:bogus=1", // unknown option
 		"solver.group:panic:p",       // option without value
+		"solver.gruop:panic",         // unregistered (typo'd) point
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) accepted a malformed spec", bad)
@@ -148,14 +149,14 @@ func TestParse(t *testing.T) {
 
 func TestSetSpecAndReset(t *testing.T) {
 	t.Cleanup(Reset)
-	if err := SetSpec("p:error"); err != nil {
+	if err := SetSpec(PointExecOperator + ":error"); err != nil {
 		t.Fatal(err)
 	}
-	if Inject("p") == nil {
+	if Inject(PointExecOperator) == nil {
 		t.Fatal("installed spec did not fire")
 	}
 	Reset()
-	if Enabled() || Inject("p") != nil {
+	if Enabled() || Inject(PointExecOperator) != nil {
 		t.Fatal("Reset did not disarm the schedule")
 	}
 }

@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// allPoints is the closed set of Point* constants; a new constant must
+// be added here and to Registry together or this test fails.
+var allPoints = []string{
+	PointGraphBuildChunk,
+	PointGraphEncodeChunk,
+	PointSolverGroup,
+	PointSolverLevel,
+	PointExecOperator,
+	PointCacheInsert,
+	PointStreamEncode,
+}
+
+func TestRegistryMatchesConstants(t *testing.T) {
+	if len(Registry) != len(allPoints) {
+		t.Fatalf("Registry has %d points, constants declare %d", len(Registry), len(allPoints))
+	}
+	for _, name := range allPoints {
+		if !Known(name) {
+			t.Errorf("point constant %q is not in Registry", name)
+		}
+	}
+	for _, p := range Registry {
+		if p.Package == "" || p.Effect == "" {
+			t.Errorf("registry entry %q is missing Package or Effect", p.Name)
+		}
+		if !strings.HasPrefix(p.Package, "graphsql/") {
+			t.Errorf("registry entry %q names package %q outside the module", p.Name, p.Package)
+		}
+	}
+}
+
+func TestPointNamesSorted(t *testing.T) {
+	names := PointNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("PointNames() not sorted: %v", names)
+	}
+	if len(names) != len(Registry) {
+		t.Fatalf("PointNames() has %d entries, Registry %d", len(names), len(Registry))
+	}
+}
+
+func TestParseRejectsUnknownPoint(t *testing.T) {
+	_, err := Parse("server.cache.insrt:error:p=0.5")
+	if err == nil {
+		t.Fatal("Parse accepted an unregistered point")
+	}
+	if !strings.Contains(err.Error(), "unknown point") ||
+		!strings.Contains(err.Error(), PointCacheInsert) {
+		t.Fatalf("error %q should name the bad point and list the registry", err)
+	}
+}
+
+func TestSetAllowsSyntheticPoints(t *testing.T) {
+	t.Cleanup(Reset)
+	// Programmatic rules are exempt from the registry so tests can plant
+	// throwaway points.
+	Set(Rule{Point: "test.synthetic", Kind: KindError})
+	if Inject("test.synthetic") == nil {
+		t.Fatal("programmatic rule on a synthetic point did not fire")
+	}
+}

@@ -54,6 +54,7 @@ func (g *CSR) edgeRange(v VertexID) (int64, int64) {
 // of dense vertex ids. n is the vertex count. Entries with src or dst
 // outside [0, n) are rejected.
 func BuildCSR(n int, src, dst []VertexID) (*CSR, error) {
+	//gsqlvet:allow ctxprop non-ctx compat wrapper; request paths use BuildGraphCtx
 	return buildCSRSeq(context.Background(), n, src, dst)
 }
 
@@ -118,6 +119,7 @@ func buildCSRSeq(ctx context.Context, n int, src, dst []VertexID) (*CSR, error) 
 // Perm) come out bit-identical regardless of scheduling. Inputs below
 // the size threshold fall back to the sequential builder.
 func BuildCSRParallel(n int, src, dst []VertexID, parallelism int) (*CSR, error) {
+	//gsqlvet:allow ctxprop non-ctx compat wrapper; request paths use BuildCSRParallelCtx
 	return BuildCSRParallelCtx(context.Background(), n, src, dst, parallelism)
 }
 

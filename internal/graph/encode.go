@@ -27,6 +27,7 @@ import (
 // calls in stream order, for any parallelism.
 func (d *Dict) EncodeColumnsInt(cols [][]int64, outs [][]VertexID, parallelism int) {
 	// Without a context the encode cannot fail.
+	//gsqlvet:allow ctxprop non-ctx compat wrapper; request paths use EncodeColumnsIntCtx
 	_ = d.EncodeColumnsIntCtx(context.Background(), cols, outs, parallelism)
 }
 
@@ -40,6 +41,7 @@ func (d *Dict) EncodeColumnsIntCtx(ctx context.Context, cols [][]int64, outs [][
 
 // EncodeColumnsString is EncodeColumnsInt over the string key space.
 func (d *Dict) EncodeColumnsString(cols [][]string, outs [][]VertexID, parallelism int) {
+	//gsqlvet:allow ctxprop non-ctx compat wrapper; request paths use EncodeColumnsStringCtx
 	_ = d.EncodeColumnsStringCtx(context.Background(), cols, outs, parallelism)
 }
 

@@ -1,0 +1,18 @@
+package ctxprop_test
+
+import (
+	"testing"
+
+	"graphsql/internal/lint/analysistest"
+	"graphsql/internal/lint/ctxprop"
+)
+
+func TestGated(t *testing.T) {
+	analysistest.Run(t, ctxprop.Analyzer,
+		"../testdata/src/ctxprop/gated", "graphsql/internal/exec/fixture")
+}
+
+func TestUngated(t *testing.T) {
+	analysistest.Run(t, ctxprop.Analyzer,
+		"../testdata/src/ctxprop/ungated", "graphsql/internal/bench/fixture")
+}

@@ -1,0 +1,214 @@
+// Package determinism implements the gsqlvet analyzer protecting the
+// engine's bit-identical-results guarantee. Every result a query
+// produces must be byte-for-byte identical at every worker count and
+// across runs; the two classic ways Go code silently breaks that are
+// (1) iterating a map while building output — map iteration order is
+// deliberately randomized — and (2) folding wall-clock or random values
+// into result-producing code.
+//
+// Rule 1 flags a `for range` over a map whose body appends to (or
+// index-assigns into) a slice declared outside the loop, unless the
+// function later passes that slice through a sort (sort.*, slices.Sort*
+// or any sort-named helper): collect-then-sort is the sanctioned
+// pattern (see storage.Catalog.TableNames or the server's metrics
+// exposition). Writes into maps are order-independent and ignored.
+//
+// Rule 2 flags time.Now() calls and math/rand imports inside
+// result-producing packages. Trace, metrics and benchmark code live
+// outside the gated packages and keep their clocks.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"graphsql/internal/lint/analysis"
+	"graphsql/internal/lint/lintutil"
+)
+
+// Analyzer flags map-iteration-order and clock/randomness leaks in
+// result-producing packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flag map iteration that builds slice output without a following sort, " +
+		"plus time.Now/math/rand use, inside result-producing packages; " +
+		"either breaks the bit-identical-results guarantee",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !lintutil.InPackages(pass.Pkg.Path(), lintutil.ResultPathPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"math/rand imported in result-producing package %s: randomness must not reach results",
+					pass.Pkg.Path())
+			}
+		}
+		// Walk per enclosing function so rule 1's "following sort" scan
+		// has a scope to search.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok && lintutil.IsPkgFunc(pass.TypesInfo, call, "time", "Now") {
+				pass.Reportf(call.Pos(),
+					"time.Now() in result-producing package %s: clocks must not reach results (trace/metrics code lives outside these packages)",
+					pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc applies rule 1 inside one function body. Function literals
+// nested in body are scanned as part of it: a sort after the loop in
+// the enclosing function still sanctions a closure's map-fed append.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		for _, obj := range slicesWritten(pass, rs) {
+			if !sortedAfter(pass, body, rs, obj) {
+				pass.Reportf(rs.Pos(),
+					"map iteration writes to slice %q in nondeterministic order with no following sort; sort the result or iterate a deterministically ordered copy of the keys",
+					obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// slicesWritten collects the slice-typed variables declared outside the
+// range loop that its body assigns into — via s = append(s, ...),
+// s[i] = v, or any other assignment to the variable.
+func slicesWritten(pass *analysis.Pass, rs *ast.RangeStmt) []types.Object {
+	seen := map[types.Object]bool{}
+	var out []types.Object
+	record := func(e ast.Expr) {
+		// Unwrap s[i] = v and s[i][j] = v down to the root identifier.
+		for {
+			if ix, ok := e.(*ast.IndexExpr); ok {
+				e = ix.X
+				continue
+			}
+			break
+		}
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return
+		}
+		if _, isSlice := v.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		// Variables born inside the loop body are per-iteration scratch;
+		// order cannot leak through them unless they escape, which a
+		// further outer-variable write would catch.
+		if v.Pos() >= rs.Pos() && v.Pos() < rs.End() {
+			return
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range t.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(t.X)
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether, after the range loop, the function calls
+// a sort-shaped function mentioning obj: a function from package sort
+// or slices whose name starts with Sort, or any callee whose name
+// contains "sort" (mergeAscending-style helpers declare their ordering
+// in their name or are annotated instead).
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		// The sorted value must be the one the loop built.
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					mentioned = true
+					return false
+				}
+				return true
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := pass.TypesInfo.Uses[fn.Sel]; ok && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sort":
+				switch obj.Name() {
+				case "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s":
+					return true
+				}
+				return false
+			case "slices":
+				return strings.HasPrefix(obj.Name(), "Sort")
+			}
+		}
+		return strings.Contains(strings.ToLower(fn.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fn.Name), "sort")
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"graphsql/internal/lint/analysistest"
+	"graphsql/internal/lint/determinism"
+)
+
+func TestGated(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer,
+		"../testdata/src/determinism/gated", "graphsql/internal/core/fixture")
+}
+
+func TestUngated(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer,
+		"../testdata/src/determinism/ungated", "graphsql/internal/obs/fixture")
+}

@@ -1,0 +1,90 @@
+// Package driver runs a set of gsqlvet analyzers over type-checked
+// packages and post-processes their findings: it stamps each diagnostic
+// with its analyzer, applies //gsqlvet:allow suppression, drops
+// anything anchored in testdata, and resolves positions into plain
+// file:line:col findings. Both gsqlvet modes (standalone and
+// `go vet -vettool`) and the in-process self-check test funnel through
+// Run, so a finding means the same thing everywhere.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"graphsql/internal/lint/analysis"
+)
+
+// Target is the package-shaped input Run needs; the standalone loader
+// and the unitchecker both produce it.
+type Target struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Finding is one surviving diagnostic with its position resolved.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in vet's reporting shape.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run executes every analyzer over every target and returns the
+// surviving findings sorted by position. Analyzer errors (not findings
+// — internal failures) abort the run.
+func Run(analyzers []*analysis.Analyzer, targets []*Target) ([]Finding, error) {
+	var all []Finding
+	for _, t := range targets {
+		var diags []analysis.Diagnostic
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      t.Fset,
+				Files:     t.Files,
+				Pkg:       t.Pkg,
+				TypesInfo: t.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				d.Analyzer = name
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", t.Pkg.Path(), a.Name, err)
+			}
+		}
+		for _, d := range analysis.Filter(t.Fset, t.Files, diags) {
+			if analysis.InTestdata(t.Fset, d.Pos) {
+				continue
+			}
+			all = append(all, Finding{
+				Pos:      t.Fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		pi, pj := all[i].Pos, all[j].Pos
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}

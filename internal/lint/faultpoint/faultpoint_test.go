@@ -1,0 +1,13 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"graphsql/internal/lint/analysistest"
+	"graphsql/internal/lint/faultpoint"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, faultpoint.Analyzer,
+		"../testdata/src/faultpoint", "graphsql/internal/chaos/fixture")
+}

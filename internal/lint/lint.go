@@ -1,0 +1,34 @@
+// Package lint assembles the gsqlvet analyzer suite: custom static
+// analyzers that mechanically enforce the engine's cross-cutting
+// invariants — the ones the type system cannot express and code review
+// keeps re-litigating. Each analyzer's package documents the invariant
+// it guards; this package is just the roster.
+//
+// Run the suite standalone (go run ./cmd/gsqlvet ./...) or as a vet
+// tool (go vet -vettool=$(which gsqlvet) ./...). Suppress a finding
+// with a justified annotation on or directly above the offending line:
+//
+//	//gsqlvet:allow <analyzer> <reason>
+//
+// An annotation without a reason is itself a finding.
+package lint
+
+import (
+	"graphsql/internal/lint/analysis"
+	"graphsql/internal/lint/ctxprop"
+	"graphsql/internal/lint/determinism"
+	"graphsql/internal/lint/faultpoint"
+	"graphsql/internal/lint/parbudget"
+	"graphsql/internal/lint/tracepair"
+	"graphsql/internal/lint/wirestability"
+)
+
+// Analyzers is the full gsqlvet suite, in stable order.
+var Analyzers = []*analysis.Analyzer{
+	ctxprop.Analyzer,
+	determinism.Analyzer,
+	faultpoint.Analyzer,
+	parbudget.Analyzer,
+	tracepair.Analyzer,
+	wirestability.Analyzer,
+}

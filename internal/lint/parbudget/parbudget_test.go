@@ -1,0 +1,18 @@
+package parbudget_test
+
+import (
+	"testing"
+
+	"graphsql/internal/lint/analysistest"
+	"graphsql/internal/lint/parbudget"
+)
+
+func TestGated(t *testing.T) {
+	analysistest.Run(t, parbudget.Analyzer,
+		"../testdata/src/parbudget/gated", "graphsql/internal/graph/fixture")
+}
+
+func TestUngated(t *testing.T) {
+	analysistest.Run(t, parbudget.Analyzer,
+		"../testdata/src/parbudget/ungated", "graphsql/internal/bench/fixture")
+}

@@ -1,0 +1,38 @@
+package lint_test
+
+import (
+	"testing"
+
+	"graphsql/internal/lint"
+	"graphsql/internal/lint/analysistest"
+	"graphsql/internal/lint/driver"
+)
+
+// TestRepoIsClean runs the full gsqlvet suite over every package in the
+// module and requires zero findings. This is the anti-rot guard: the
+// moment a finding is tolerated "for now", the suite becomes a warning
+// stream nobody reads, so HEAD must always be clean — fix the code or
+// carry a justified //gsqlvet:allow.
+func TestRepoIsClean(t *testing.T) {
+	env := analysistest.SharedEnv(t)
+	pkgs, err := env.Load()
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	targets := make([]*driver.Target, 0, len(pkgs))
+	for _, p := range pkgs {
+		targets = append(targets, &driver.Target{
+			Fset: p.Fset, Files: p.Files, Pkg: p.Types, TypesInfo: p.TypesInfo,
+		})
+	}
+	findings, err := driver.Run(lint.Analyzers, targets)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+	if len(findings) > 0 {
+		t.Errorf("gsqlvet found %d violation(s) at HEAD; fix them or annotate with a justified //gsqlvet:allow", len(findings))
+	}
+}

@@ -1,0 +1,33 @@
+// Fixture for ctxprop, type-checked under a request-path import path.
+package fixture
+
+import "context"
+
+func detached() context.Context {
+	return context.Background() // want "detached context in request-path package"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "detached context in request-path package"
+}
+
+func annotatedPrevLine() context.Context {
+	//gsqlvet:allow ctxprop compat shim for non-ctx callers
+	return context.Background()
+}
+
+func annotatedSameLine() context.Context {
+	return context.Background() //gsqlvet:allow ctxprop compat shim for non-ctx callers
+}
+
+// A reasonless annotation is itself a finding, and it suppresses
+// nothing: the detached context two lines below it still fires.
+func reasonless() context.Context {
+	//gsqlvet:allow ctxprop
+	// want-above "no justification"
+	return context.Background() // want "detached context in request-path package"
+}
+
+func threaded(ctx context.Context) context.Context {
+	return ctx
+}

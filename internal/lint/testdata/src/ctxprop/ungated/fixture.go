@@ -1,0 +1,13 @@
+// Fixture for ctxprop, type-checked under an import path outside the
+// request-path gate: the same detached contexts produce no findings.
+package fixture
+
+import "context"
+
+func detached() context.Context {
+	return context.Background()
+}
+
+func todo() context.Context {
+	return context.TODO()
+}

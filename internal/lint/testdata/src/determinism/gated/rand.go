@@ -1,0 +1,7 @@
+package fixture
+
+import "math/rand" // want "math/rand imported in result-producing package"
+
+func roll() int {
+	return rand.Int()
+}

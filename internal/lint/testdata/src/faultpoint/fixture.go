@@ -1,0 +1,43 @@
+// Fixture for faultpoint. Not path-gated: Inject sites are planted in
+// engine packages, but the rule holds anywhere the fault package is
+// used.
+package fixture
+
+import "graphsql/internal/fault"
+
+// registered points pass, whether spelled as the constant or as an
+// equal literal (constant folding sees through both).
+func registered() error {
+	if err := fault.Inject(fault.PointSolverGroup); err != nil {
+		return err
+	}
+	return fault.Inject("solver.group")
+}
+
+const localAlias = fault.PointExecOperator
+
+func aliased() error {
+	return fault.Inject(localAlias)
+}
+
+func typo() error {
+	return fault.Inject("solver.gruop") // want "unregistered point \"solver.gruop\""
+}
+
+func computed(name string) error {
+	return fault.Inject(name) // want "not a compile-time constant"
+}
+
+// literal schedules are parsed at vet time with the real parser.
+func schedules() {
+	_ = fault.SetSpec(fault.PointSolverGroup + ":panic:p=0.5")
+	_ = fault.SetSpec("server.cache.insrt:error") // want "invalid fault schedule literal"
+	_, _ = fault.Parse("solver.group:explode")    // want "invalid fault schedule literal"
+}
+
+// annotated: a point armed only in a sandboxed harness, outside the
+// registry by design.
+func annotated() error {
+	//gsqlvet:allow faultpoint harness-local point, never armed via GSQLD_FAULTS
+	return fault.Inject("harness.local")
+}

@@ -1,0 +1,23 @@
+// Fixture for parbudget, checked under a budget-governed import path.
+package fixture
+
+func bare(work func()) {
+	go work() // want "bare goroutine spawn in budget-governed package"
+}
+
+func bareLiteral(n int) {
+	for i := 0; i < n; i++ {
+		go func() {}() // want "bare goroutine spawn in budget-governed package"
+	}
+}
+
+// annotated: a process-lifetime listener, the sanctioned allowlist
+// case.
+func annotated(serve func() error) {
+	//gsqlvet:allow parbudget accept loop runs for the process lifetime, not per query
+	go func() { _ = serve() }()
+}
+
+func sequential(work func()) {
+	work()
+}

@@ -1,0 +1,7 @@
+// Fixture for parbudget, checked outside the budget-governed gate
+// (offline tooling spawns freely): no findings.
+package fixture
+
+func bare(work func()) {
+	go work()
+}

@@ -1,0 +1,90 @@
+// Fixture for tracepair. The analyzer is not path-gated: span
+// discipline applies wherever a trace is written.
+package fixture
+
+import "graphsql/internal/trace"
+
+// deferredEnd is the canonical shape.
+func deferredEnd(tr *trace.Trace) {
+	sp := tr.Begin(trace.NoSpan, "stage")
+	defer tr.End(sp)
+	work()
+}
+
+// deferredClosure closes the span inside a deferred literal.
+func deferredClosure(tr *trace.Trace) {
+	sp := tr.Begin(trace.NoSpan, "stage")
+	defer func() {
+		tr.End(sp)
+	}()
+	work()
+}
+
+// positionalEnd is fine: no return can skip the End.
+func positionalEnd(tr *trace.Trace) error {
+	sp := tr.Begin(trace.NoSpan, "stage")
+	err := mayFail()
+	tr.End(sp)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// earlyReturn leaks the span on the error path.
+func earlyReturn(tr *trace.Trace) error {
+	sp := tr.Begin(trace.NoSpan, "stage")
+	if err := mayFail(); err != nil {
+		return err // want "return leaks span \"sp\""
+	}
+	tr.End(sp)
+	return nil
+}
+
+// neverClosed has no End at all.
+func neverClosed(tr *trace.Trace) {
+	sp := tr.Begin(trace.NoSpan, "stage") // want "span \"sp\" is never closed"
+	work()
+	_ = sp
+}
+
+// discarded spans can never be closed.
+func discarded(tr *trace.Trace) {
+	_ = tr.Begin(trace.NoSpan, "stage") // want "span from Begin is discarded"
+	tr.Begin(trace.NoSpan, "stage")     // want "span from Begin is discarded"
+}
+
+// literalReturn: a return inside a nested function literal does not
+// count against the enclosing span.
+func literalReturn(tr *trace.Trace) {
+	sp := tr.Begin(trace.NoSpan, "stage")
+	f := func() error {
+		return mayFail()
+	}
+	_ = f()
+	tr.End(sp)
+}
+
+// handoffToClosure: an End anywhere in the function body — even inside
+// a stored closure — counts as closure of the span.
+func handoffToClosure(tr *trace.Trace) {
+	sp := tr.Begin(trace.NoSpan, "stage")
+	register(func() { tr.End(sp) })
+}
+
+// annotated: the span outlives this function by design; suppressed
+// with a reason.
+func annotated(tr *trace.Trace) {
+	//gsqlvet:allow tracepair span closed by the drain loop that owns spans
+	sp := tr.Begin(trace.NoSpan, "stage")
+	spans = append(spans, sp)
+}
+
+var (
+	finalizers []func()
+	spans      []trace.SpanID
+)
+
+func register(f func()) { finalizers = append(finalizers, f) }
+func work()             {}
+func mayFail() error    { return nil }

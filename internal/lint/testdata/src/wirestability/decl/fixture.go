@@ -1,0 +1,33 @@
+// Fixture for wirestability's declaration rule, type-checked AS the
+// wire package's import path: exported fields of structs declared here
+// must pin their wire name with a json tag.
+package wire
+
+type Tagged struct {
+	Code    string `json:"code"`
+	Message string `json:"message,omitempty"`
+	hidden  int
+}
+
+type Untagged struct {
+	Code    string `json:"code"`
+	Message string // want "exported wire field Untagged.Message has no json tag"
+}
+
+type partiallyTagged struct {
+	Rows [][]any `json:"rows"`
+	Next string  // want "exported wire field partiallyTagged.Next has no json tag"
+}
+
+// annotated: an envelope only ever encoded by hand, never by
+// encoding/json.
+type annotatedEnvelope struct {
+	//gsqlvet:allow wirestability frame assembled byte-wise by the stream writer
+	Raw []byte
+}
+
+func use() (Tagged, Untagged, partiallyTagged, annotatedEnvelope) {
+	return Tagged{}, Untagged{}, partiallyTagged{}, annotatedEnvelope{}
+}
+
+var _ = Tagged{hidden: 0}

@@ -1,0 +1,36 @@
+// Fixture for wirestability's literal rule: composite literals of real
+// internal/wire types, from any package in the module, must be keyed.
+package fixture
+
+import "graphsql/internal/wire"
+
+func keyed() wire.Error {
+	return wire.Error{Code: "internal", Message: "boom"}
+}
+
+func unkeyed() wire.Error {
+	return wire.Error{"internal", "boom"} // want "unkeyed composite literal of wire type Error"
+}
+
+func unkeyedPointer() *wire.Error {
+	return &wire.Error{"internal", "boom"} // want "unkeyed composite literal of wire type Error"
+}
+
+func empty() wire.Error {
+	return wire.Error{}
+}
+
+// nonWireUnkeyed: unkeyed literals of local types are vet's business
+// (composites), not wirestability's.
+type local struct{ a, b string }
+
+func nonWireUnkeyed() local {
+	return local{"x", "y"}
+}
+
+// annotated: a golden-bytes test helper constructing a frame
+// positionally on purpose.
+func annotated() wire.Error {
+	//gsqlvet:allow wirestability golden-frame constructor; field order is the assertion
+	return wire.Error{"internal", "boom"}
+}

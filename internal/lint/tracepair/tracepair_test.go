@@ -1,0 +1,13 @@
+package tracepair_test
+
+import (
+	"testing"
+
+	"graphsql/internal/lint/analysistest"
+	"graphsql/internal/lint/tracepair"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, tracepair.Analyzer,
+		"../testdata/src/tracepair", "graphsql/internal/server/fixture")
+}

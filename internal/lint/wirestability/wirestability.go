@@ -1,0 +1,110 @@
+// Package wirestability implements the gsqlvet analyzer guarding the
+// byte-pinned wire format. internal/wire's structs are the protocol:
+// clients hash-pin the encoding, and the format test locks the golden
+// bytes. Two mechanical mistakes can still slip through a refactor:
+//
+//   - An unkeyed composite literal of a wire type (wire.Header{v1, v2})
+//     silently reshuffles field meaning when a field is added or
+//     reordered — the code still compiles, the bytes change.
+//   - An exported wire field without a json tag encodes under its Go
+//     name, so a rename that is invisible to Go callers is a silent
+//     protocol break.
+//
+// Rule 1 applies module-wide to every literal of a type declared in
+// internal/wire; rule 2 applies to the struct declarations themselves.
+package wirestability
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"graphsql/internal/lint/analysis"
+	"graphsql/internal/lint/lintutil"
+)
+
+// Analyzer flags unkeyed wire-type literals and untagged exported wire
+// fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirestability",
+	Doc: "composite literals of internal/wire types must use keyed fields, and " +
+		"exported wire struct fields must carry json tags; either omission lets " +
+		"a refactor silently change the pinned wire encoding",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.CompositeLit); ok {
+				checkLiteral(pass, lit)
+			}
+			return true
+		})
+	}
+	if pass.Pkg.Path() == lintutil.WirePackage {
+		for _, f := range pass.Files {
+			checkDecls(pass, f)
+		}
+	}
+	return nil
+}
+
+// checkLiteral flags unkeyed struct literals of wire-package types.
+// Only struct literals with at least one element can be unkeyed; array
+// and map literals are inherently positional or keyed.
+func checkLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	named := lintutil.NamedFromPackage(tv.Type, lintutil.WirePackage)
+	if named == nil {
+		return
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return
+	}
+	for _, el := range lit.Elts {
+		if _, keyed := el.(*ast.KeyValueExpr); !keyed {
+			pass.Reportf(lit.Pos(),
+				"unkeyed composite literal of wire type %s: positional fields silently change meaning when the struct evolves; use field: value",
+				named.Obj().Name())
+			return
+		}
+	}
+}
+
+// checkDecls flags exported fields of structs declared in the wire
+// package that have no json tag. The tag is what pins the field's name
+// on the wire; without it the encoding tracks the Go identifier.
+func checkDecls(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			tag := ""
+			if field.Tag != nil {
+				tag = reflect.StructTag(strings.Trim(field.Tag.Value, "`")).Get("json")
+			}
+			for _, name := range field.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if tag == "" {
+					pass.Reportf(name.Pos(),
+						"exported wire field %s.%s has no json tag: the wire name would track the Go identifier, so a rename silently breaks the pinned encoding",
+						ts.Name.Name, name.Name)
+				}
+			}
+		}
+		return true
+	})
+}

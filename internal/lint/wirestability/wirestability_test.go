@@ -1,0 +1,21 @@
+package wirestability_test
+
+import (
+	"testing"
+
+	"graphsql/internal/lint/analysistest"
+	"graphsql/internal/lint/wirestability"
+)
+
+// TestDecl checks the declaration rule by type-checking the fixture AS
+// the wire package's own import path.
+func TestDecl(t *testing.T) {
+	analysistest.Run(t, wirestability.Analyzer,
+		"../testdata/src/wirestability/decl", "graphsql/internal/wire")
+}
+
+// TestUse checks the literal rule from an importing package.
+func TestUse(t *testing.T) {
+	analysistest.Run(t, wirestability.Analyzer,
+		"../testdata/src/wirestability/use", "graphsql/internal/server/fixture")
+}

@@ -135,7 +135,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 				if rv == nil {
 					return
 				}
-				s.recordPanic(rv, debug.Stack(), 0, "")
+				s.recordPanic(r.Context(), rv, debug.Stack(), 0, "")
 				s.errors.Add(1)
 				if !rec.wrote {
 					writeJSON(rec, http.StatusInternalServerError,

@@ -340,10 +340,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // responses carry just the panic value. qid/fp tag the query when the
 // panic was caught inside a query path (the last-resort middleware
 // recover passes zero values: it no longer knows which query it was).
-func (s *Server) recordPanic(v any, stack []byte, qid uint64, fp string) {
+// ctx is the request's context, threaded through for handler-aware
+// loggers; it may already be canceled by the time a panic is recorded.
+func (s *Server) recordPanic(ctx context.Context, v any, stack []byte, qid uint64, fp string) {
 	s.panics.Add(1)
 	s.lastPanic.Store(time.Now().UnixNano())
-	s.logger.LogAttrs(context.Background(), slog.LevelError, "contained query panic",
+	s.logger.LogAttrs(ctx, slog.LevelError, "contained query panic",
 		slog.Uint64("query_id", qid),
 		slog.String("fingerprint", fp),
 		slog.Any("panic", v),
@@ -441,7 +443,7 @@ func (s *Server) failExec(w http.ResponseWriter, ctx context.Context, timedOut f
 	code := wire.CodeSQL
 	switch {
 	case errors.As(err, &qp):
-		s.recordPanic(qp.Value, qp.Stack, qid, fp)
+		s.recordPanic(ctx, qp.Value, qp.Stack, qid, fp)
 		code = wire.CodePanic
 	case errors.As(err, &inj):
 		code = wire.CodeInternal
@@ -547,7 +549,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 	outcome := "ok"
 	rowsOut := -1
 	defer func() {
-		s.finishQuery(qid, graphName, fp, tr, start, outcome, rowsOut)
+		s.finishQuery(r.Context(), qid, graphName, fp, tr, start, outcome, rowsOut)
 	}()
 
 	// Result-cache lookup. The generation and data version are read
@@ -770,7 +772,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 // finishQuery closes out one query's observability: stage histograms
 // and the structured query log. Runs deferred from runQuery on every
 // completion path.
-func (s *Server) finishQuery(qid uint64, graph, fp string, tr *trace.Trace, start time.Time, outcome string, rowsOut int) {
+func (s *Server) finishQuery(ctx context.Context, qid uint64, graph, fp string, tr *trace.Trace, start time.Time, outcome string, rowsOut int) {
 	elapsed := time.Since(start)
 	stages := tr.Stages()
 	for _, st := range stages {
@@ -780,7 +782,6 @@ func (s *Server) finishQuery(qid uint64, graph, fp string, tr *trace.Trace, star
 	if ms := s.cfg.SlowQueryMillis; ms != 0 && (ms < 0 || elapsed >= time.Duration(ms)*time.Millisecond) {
 		lvl, msg = slog.LevelWarn, "slow query"
 	}
-	ctx := context.Background()
 	if !s.logger.Enabled(ctx, lvl) {
 		return
 	}
@@ -866,7 +867,7 @@ func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut
 	}
 	defer func() {
 		if rv := recover(); rv != nil {
-			s.recordPanic(rv, debug.Stack(), qid, fp)
+			s.recordPanic(ctx, rv, debug.Stack(), qid, fp)
 			s.errors.Add(1)
 			failCode = wire.CodePanic
 			sent = sw.RowsSent()
