@@ -1,0 +1,152 @@
+package graphsql
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"graphsql/internal/testutil"
+)
+
+// The executor differential extends the determinism guarantee across
+// the executor seam: the pull executor (batch-at-a-time, execution
+// during the cursor drain) and the materializing executor must render
+// every corpus query byte-identically, at every differential
+// parallelism setting, and regardless of the operator batch size. The
+// two executors share the materializing operator cores for breakers,
+// so a divergence here means a pipeline operator (scan, filter,
+// project, unnest, union-all, limit) streams something its
+// materializing twin would not.
+
+// executorRuns enumerates the executor configurations under
+// differential test; the materializing executor is the reference.
+func executorRuns() []QueryOptions {
+	return []QueryOptions{
+		{Executor: ExecutorMaterialize},
+		{Executor: ExecutorPull},
+		{Executor: ExecutorPull, BatchRows: 3}, // tiny batches force every window boundary
+		{Executor: ExecutorPull, BatchRows: 1000000},
+	}
+}
+
+func describeRun(qo QueryOptions) string {
+	if qo.BatchRows > 0 {
+		return fmt.Sprintf("%s/batch=%d", qo.Executor, qo.BatchRows)
+	}
+	return qo.Executor
+}
+
+func TestExecutorDifferential(t *testing.T) {
+	forceParallelOperators(t)
+	ctx := context.Background()
+	for _, p := range differentialSettings() {
+		db := openCorpusDB(t, p)
+		sess := db.Session()
+		for qi, q := range testutil.Queries() {
+			runs := executorRuns()
+			ref, err := sess.QueryOpts(ctx, runs[0], q)
+			if err != nil {
+				t.Fatalf("parallelism %d q%02d %s: %v\nquery: %s", p, qi, describeRun(runs[0]), err, q)
+			}
+			want := ref.String()
+			for _, qo := range runs[1:] {
+				got, err := sess.QueryOpts(ctx, qo, q)
+				if err != nil {
+					t.Fatalf("parallelism %d q%02d %s: %v\nquery: %s", p, qi, describeRun(qo), err, q)
+				}
+				if got.String() != want {
+					t.Errorf("parallelism %d q%02d: %s renders differently from %s\nquery: %s\n--- %s (%d rows)\n%s--- %s (%d rows)\n%s",
+						p, qi, describeRun(qo), describeRun(runs[0]), q,
+						describeRun(runs[0]), ref.Len(), want, describeRun(qo), got.Len(), got.String())
+				}
+			}
+		}
+	}
+}
+
+// TestExecutorStreamingEquivalence locks the streamed drain to the
+// buffered result: reassembling a pull cursor's windows — tiny operator
+// batches, a window size coprime to them, so windows constantly span
+// batch boundaries — must reproduce DB.Query exactly, and the frame
+// sequence must be the deterministic ceil(n/window) shape the wire
+// cache replay depends on.
+func TestExecutorStreamingEquivalence(t *testing.T) {
+	forceParallelOperators(t)
+	ctx := context.Background()
+	db := openCorpusDB(t, 2)
+	for qi, q := range testutil.Queries() {
+		ref, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("q%02d: %v\nquery: %s", qi, err, q)
+		}
+		rows, err := db.QueryRows(ctx, QueryOptions{Executor: ExecutorPull, BatchRows: 3}, q)
+		if err != nil {
+			t.Fatalf("q%02d: QueryRows: %v\nquery: %s", qi, err, q)
+		}
+		const window = 5
+		got := &Result{Columns: rows.Columns}
+		frames := 0
+		for {
+			batch, err := rows.NextBatch(window)
+			if err != nil {
+				t.Fatalf("q%02d: NextBatch: %v\nquery: %s", qi, err, q)
+			}
+			if batch == nil {
+				break
+			}
+			frames++
+			if len(batch) != window && len(got.Rows)+len(batch) != ref.Len() {
+				t.Fatalf("q%02d: short window of %d rows mid-stream (frame %d)\nquery: %s",
+					qi, len(batch), frames, q)
+			}
+			got.Rows = append(got.Rows, batch...)
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatalf("q%02d: Close: %v", qi, err)
+		}
+		if got.String() != ref.String() {
+			t.Errorf("q%02d: streamed drain differs from buffered result\nquery: %s\n--- buffered (%d rows)\n%s--- streamed (%d rows)\n%s",
+				qi, q, ref.Len(), ref.String(), len(got.Rows), got.String())
+		}
+		if wantFrames := (ref.Len() + window - 1) / window; frames != wantFrames {
+			t.Errorf("q%02d: %d rows in %d frames of %d, want %d\nquery: %s",
+				qi, ref.Len(), frames, window, wantFrames, q)
+		}
+	}
+}
+
+// TestExplainAnalyzeExecutors runs EXPLAIN ANALYZE under each executor
+// and checks the contract both must honor: the annotated root reports
+// the true result cardinality and a wall time. The per-operator actuals
+// underneath are allowed to differ — a pull Limit stops pulling its
+// child as soon as the quota fills, so upstream operators legitimately
+// report fewer rows than under full materialization.
+func TestExplainAnalyzeExecutors(t *testing.T) {
+	forceParallelOperators(t)
+	ctx := context.Background()
+	db := openCorpusDB(t, 2)
+	sess := db.Session()
+	for _, executor := range []string{ExecutorMaterialize, ExecutorPull} {
+		qo := QueryOptions{Executor: executor}
+		for qi, q := range testutil.Queries() {
+			ref, err := sess.QueryOpts(ctx, qo, q)
+			if err != nil {
+				t.Fatalf("%s q%02d: %v\nquery: %s", executor, qi, err, q)
+			}
+			plan, err := sess.QueryOpts(ctx, qo, "EXPLAIN ANALYZE "+q)
+			if err != nil {
+				t.Fatalf("%s q%02d: EXPLAIN ANALYZE: %v\nquery: %s", executor, qi, err, q)
+			}
+			text := planText(t, plan)
+			firstLine, _, _ := strings.Cut(text, "\n")
+			if !strings.Contains(firstLine, fmt.Sprintf("rows=%d", ref.Len())) {
+				t.Fatalf("%s q%02d: annotated root does not report the true cardinality %d:\n%s\nquery: %s",
+					executor, qi, ref.Len(), text, q)
+			}
+			if !strings.Contains(firstLine, "time=") {
+				t.Fatalf("%s q%02d: no timing on the root line:\n%s", executor, qi, text)
+			}
+		}
+	}
+}

@@ -58,12 +58,18 @@
 //	s.Query(ctx, `SET parallelism = 2`)          // this session only
 //	res, err := s.Query(ctx, `SELECT ...`, args) // cached plan on repeat
 //
-// Large results can be consumed incrementally instead of as one
-// row-major copy: QueryRowsCtx (and Session.QueryRows) return a Rows
-// cursor over a stable snapshot of the engine's columnar result,
-// handing out bounded row batches under the same cancellation
-// contract. DataVersion exposes a write counter that result caches key
-// on so a cached SELECT is never served across a write.
+// Every query path funnels into one core, DB.QueryRows (ctx first, a
+// QueryOptions struct, returning a *Rows cursor); Query, QueryCtx,
+// QueryScalar and the Session variants are thin wrappers that drain
+// it. Under the default pull executor a SELECT opens its operator tree
+// under the read lock (base tables snapshot, cached graph indexes
+// refresh) and then executes batch-by-batch as the cursor is drained —
+// lock-free, so the first rows of a large result are available while
+// the query is still running and a slow consumer never blocks writers.
+// DataVersion exposes a write counter that result caches key on so a
+// cached SELECT is never served across a write. See the README's
+// "Executor" section for the pull/materialize selection knobs
+// (QueryOptions.Executor, GSQL_EXEC).
 //
 // cmd/gsqld exposes all of this over HTTP — a multi-graph registry
 // with copy-on-swap reloads, an admission-control scheduler, a
@@ -272,63 +278,39 @@ func (db *DB) Query(sql string, args ...any) (*Result, error) {
 
 // QueryCtx is Query with a cancellation context: when ctx is canceled
 // (client disconnect, timeout) execution stops at the next operator
-// boundary, source-group boundary, or in-traversal poll (every few
-// thousand queue pops; per level in the frontier-parallel BFS) and
-// returns the context's error. SELECT
+// boundary, batch boundary, source-group boundary, or in-traversal
+// poll (every few thousand queue pops; per level in the
+// frontier-parallel BFS) and returns the context's error. SELECT
 // statements run under the read lock — concurrent with each other —
-// while everything else takes the write lock.
+// while everything else takes the write lock. It is QueryRows drained
+// into a Result.
 func (db *DB) QueryCtx(ctx context.Context, sql string, args ...any) (*Result, error) {
-	params, err := bindArgs(args)
+	rows, err := db.QueryRows(ctx, QueryOptions{}, sql, args...)
 	if err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	p, err := db.eng.Prepare(sql, params...)
-	if err != nil {
-		db.mu.RUnlock()
-		return nil, err
-	}
-	if p.IsSelect() {
-		defer db.mu.RUnlock()
-		chunk, err := db.eng.ExecPrepared(ctx, p, nil, params...)
-		if err != nil {
-			return nil, err
-		}
-		return chunkToResult(chunk), nil
-	}
-	db.mu.RUnlock()
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	// Writes re-execute the parsed statement under the write lock;
-	// non-SELECT statements carry no bound plan, so binding happens
-	// here against the current catalog.
-	chunk, err := db.eng.ExecPrepared(ctx, p, nil, params...)
-	if err != nil {
-		return nil, err
-	}
-	if chunk == nil {
-		return &Result{}, nil
-	}
-	return chunkToResult(chunk), nil
+	return rows.Result()
 }
 
-// Rows is an incrementally consumable query result: the columnar chunk
-// the engine materialized, handed out in bounded row batches instead of
-// one row-major [][]any copy. It is the client side of the engine's
-// row-batch cursor seam (internal/exec.Cursor) and what the gsqld
-// streaming response rides on: a 100k-row result is converted and
-// encoded batch by batch, so the full response never exists in memory
-// at once. NextBatch polls the query's context, keeping the cursor
-// under the same cancellation contract as execution. Not safe for
-// concurrent use.
+// Rows is an incrementally consumable query result: the client side of
+// the engine's row-batch cursor seam (internal/exec.Cursor) and what
+// the gsqld streaming response rides on. Under the pull executor the
+// query executes batch by batch *as Rows is drained* — the first batch
+// of a 100k-row result is available before the query finishes, and the
+// full row-major copy never exists in memory at once. NextBatch polls
+// the query's context, keeping the cursor under the same cancellation
+// contract as execution, and converts any panic raised by in-drain
+// operator code into a *QueryPanicError, the same containment the
+// engine boundary applies. Callers that may abandon a result early
+// must Close it to release the operator tree; a fully drained or
+// failed Rows closes itself. Not safe for concurrent use.
 type Rows struct {
 	// Columns holds the output column names.
 	Columns []string
 	cur     *exec.Cursor
 }
 
-func newRows(ctx context.Context, chunk *storage.Chunk) *Rows {
-	cur := exec.NewCursor(ctx, chunk)
+func newRows(cur *exec.Cursor) *Rows {
 	r := &Rows{cur: cur}
 	for _, m := range cur.Schema() {
 		r.Columns = append(r.Columns, m.Name)
@@ -336,13 +318,27 @@ func newRows(ctx context.Context, chunk *storage.Chunk) *Rows {
 	return r
 }
 
-// Len returns the total row count of the result.
+// Len returns the total row count of the result, or -1 while it is
+// still unknown: under the pull executor a SELECT is executed as its
+// Rows is drained, so the total only becomes known at exhaustion.
+// Materialized results (non-SELECT statements, the materializing
+// executor) know their count up front.
 func (r *Rows) Len() int { return r.cur.NumRows() }
 
 // NextBatch returns the next batch of up to maxRows rows (maxRows <= 0
 // means all remaining rows), or (nil, nil) once the result is
 // exhausted. Cells use the same representations as Result.Rows.
-func (r *Rows) NextBatch(maxRows int) ([][]any, error) {
+func (r *Rows) NextBatch(maxRows int) (rows [][]any, err error) {
+	// Pull execution runs operator code during the drain — after the
+	// engine's own panic guard returned — so the containment contract
+	// is re-applied here. The guard closes the cursor on the way out;
+	// ordinary errors already closed it (they are sticky in the cursor).
+	defer func() {
+		if err != nil {
+			r.cur.Close()
+		}
+	}()
+	defer engine.CapturePanic(&err)
 	win, err := r.cur.Next(maxRows)
 	if err != nil || win == nil {
 		return nil, err
@@ -358,16 +354,55 @@ func (r *Rows) NextBatch(maxRows int) ([][]any, error) {
 	return out, nil
 }
 
-// QueryRowsCtx is QueryCtx returning an incremental cursor instead of a
-// fully converted Result. For SELECT statements the read lock is
-// released before returning — the cursor walks a stable snapshot of the
-// materialized chunk (storage.Chunk.Snapshot), so a slow consumer never
-// blocks writers. Non-SELECT statements execute to completion under the
-// write lock and return an empty (or small, fully materialized) cursor.
-func (db *DB) QueryRowsCtx(ctx context.Context, sql string, args ...any) (*Rows, error) {
+// Close releases the result's operator tree. It is idempotent and safe
+// after exhaustion (which closes implicitly); callers that may abandon
+// a Rows before draining it must call it — typically via defer.
+func (r *Rows) Close() error { return r.cur.Close() }
+
+// Result drains the remaining rows into a fully materialized Result
+// and closes the cursor. Draining from the start reproduces exactly
+// what QueryCtx would have returned.
+func (r *Rows) Result() (*Result, error) {
+	res := &Result{Columns: append([]string(nil), r.Columns...)}
+	for {
+		batch, err := r.NextBatch(0)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		if batch == nil {
+			break
+		}
+		res.Rows = append(res.Rows, batch...)
+	}
+	r.Close()
+	return res, nil
+}
+
+// QueryRows is the core query entry point every other query method
+// wraps: ctx-first, per-statement options, returning an incremental
+// Rows cursor. For SELECT statements the operator tree is opened under
+// the read lock — base-table scans snapshot and cached graph indexes
+// refresh there — and the lock is released before returning; execution
+// then proceeds batch by batch as the cursor is drained, so a slow
+// consumer never blocks writers and the first rows arrive before the
+// query completes. Non-SELECT statements execute to completion under
+// the write lock and return a fully materialized cursor. The caller
+// should Close the Rows unless it drains it to exhaustion.
+func (db *DB) QueryRows(ctx context.Context, qo QueryOptions, sql string, args ...any) (*Rows, error) {
 	params, err := bindArgs(args)
 	if err != nil {
 		return nil, err
+	}
+	override := -1
+	if qo.Workers > 0 {
+		override = qo.Workers
+	}
+	opts := &engine.ExecOptions{
+		Parallelism: override,
+		Trace:       qo.Trace,
+		Executor:    qo.Executor,
+		BatchRows:   qo.BatchRows,
 	}
 	db.mu.RLock()
 	p, err := db.eng.Prepare(sql, params...)
@@ -376,26 +411,32 @@ func (db *DB) QueryRowsCtx(ctx context.Context, sql string, args ...any) (*Rows,
 		return nil, err
 	}
 	if p.IsSelect() {
-		chunk, err := db.eng.ExecPrepared(ctx, p, nil, params...)
+		cur, err := db.eng.ExecPreparedCursor(ctx, p, opts, params...)
+		db.mu.RUnlock()
 		if err != nil {
-			db.mu.RUnlock()
 			return nil, err
 		}
-		snap := chunk.Snapshot()
-		db.mu.RUnlock()
-		return newRows(ctx, snap), nil
+		return newRows(cur), nil
 	}
 	db.mu.RUnlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	chunk, err := db.eng.ExecPrepared(ctx, p, nil, params...)
+	// Writes re-execute the parsed statement under the write lock;
+	// non-SELECT statements carry no bound plan, so binding happens
+	// here against the current catalog.
+	cur, err := db.eng.ExecPreparedCursor(ctx, p, opts, params...)
 	if err != nil {
 		return nil, err
 	}
-	if chunk == nil {
-		return newRows(ctx, nil), nil
-	}
-	return newRows(ctx, chunk.Snapshot()), nil
+	return newRows(cur), nil
+}
+
+// QueryRowsCtx is QueryRows with default options, kept for callers of
+// the original cursor API.
+//
+// Deprecated: use QueryRows, which additionally takes QueryOptions.
+func (db *DB) QueryRowsCtx(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	return db.QueryRows(ctx, QueryOptions{}, sql, args...)
 }
 
 // DataVersion reports a counter bumped by every statement that may

@@ -107,7 +107,22 @@ type ExecOptions struct {
 	// solver frontier levels) nested under it. Nil disables tracing at
 	// zero cost.
 	Trace *trace.Trace
+	// Executor selects the executor implementation: "" inherits the
+	// process default (the pull executor unless GSQL_EXEC=materialize),
+	// ExecutorPull forces the batch-pull executor, ExecutorMaterialize
+	// forces the legacy full-materialization interpreter. Results are
+	// value-identical either way; the differential corpus pins it.
+	Executor string
+	// BatchRows bounds the rows per batch the pull executor emits;
+	// <= 0 uses exec.DefaultBatchRows.
+	BatchRows int
 }
+
+// Executor selection values for ExecOptions.Executor.
+const (
+	ExecutorPull        = "pull"
+	ExecutorMaterialize = "materialize"
+)
 
 // DefaultExecOptions returns options that inherit every engine default.
 func DefaultExecOptions() ExecOptions { return ExecOptions{Parallelism: -1} }
@@ -234,43 +249,164 @@ func (e *Engine) Prepare(sql string, params ...types.Value) (prep *Prepared, err
 	return p, nil
 }
 
-// ExecPrepared executes a prepared statement. The caller is responsible
-// for staleness (see Prepared.Stale); executing a stale plan against a
-// reshaped catalog is undefined. A panic during execution — on this
-// goroutine or inside a parallel pool worker — surfaces as a
-// *QueryPanicError, never as a process-killing unwind.
-func (e *Engine) ExecPrepared(ctx context.Context, p *Prepared, opts *ExecOptions, params ...types.Value) (chunk *storage.Chunk, err error) {
+// request bundles one prepared-statement execution for run, the single
+// internal entry point every public query path funnels into: panic
+// containment, parameter validation, executor selection, tracing and
+// parallelism resolution are applied in exactly one place.
+type request struct {
+	prep   *Prepared
+	params []types.Value
+	opts   *ExecOptions
+	// wantCursor asks for an incremental cursor instead of a
+	// materialized chunk; see ExecPreparedCursor.
+	wantCursor bool
+}
+
+// run executes one request. Exactly one of chunk/cur is populated:
+// with wantCursor a cursor is returned (operator-backed for a SELECT
+// under the pull executor, a windowed snapshot otherwise), without it
+// the materialized result chunk.
+func (e *Engine) run(ctx context.Context, req request) (chunk *storage.Chunk, cur *exec.Cursor, err error) {
 	defer recoverExecPanic(&err)
-	if p.NumParams > len(params) {
-		return nil, fmt.Errorf("statement uses %d parameters but %d argument(s) were supplied", p.NumParams, len(params))
+	p := req.prep
+	if p.NumParams > len(req.params) {
+		return nil, nil, fmt.Errorf("statement uses %d parameters but %d argument(s) were supplied", p.NumParams, len(req.params))
 	}
 	switch t := p.stmt.(type) {
 	case *ast.SelectStmt:
 		pl := p.plan
 		if pl == nil {
-			bound, err := analyze.BindSelect(e.cat, t, params)
+			bound, err := analyze.BindSelect(e.cat, t, req.params)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			pl = plan.Rewrite(bound)
 		}
-		return e.execSelect(ctx, pl, params, opts)
+		return e.runSelect(ctx, pl, req)
 	case *ast.ExplainStmt:
-		return e.execExplain(ctx, t, p.plan, params, opts)
+		chunk, err = e.execExplain(ctx, t, p.plan, req.params, req.opts)
+	default:
+		chunk, err = e.execStmt(ctx, p.stmt, req.params, req.opts)
 	}
-	return e.execStmt(ctx, p.stmt, params, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if req.wantCursor {
+		if chunk != nil {
+			chunk = chunk.Snapshot()
+		}
+		return nil, exec.NewCursor(ctx, chunk), nil
+	}
+	return chunk, nil, nil
 }
 
-// execSelect interprets a bound plan, attaching the options' trace (if
-// any) so every operator records a span under one "execute" stage.
-func (e *Engine) execSelect(ctx context.Context, pl plan.Node, params []types.Value, opts *ExecOptions) (*storage.Chunk, error) {
+// ExecPrepared executes a prepared statement. The caller is responsible
+// for staleness (see Prepared.Stale); executing a stale plan against a
+// reshaped catalog is undefined. A panic during execution — on this
+// goroutine or inside a parallel pool worker — surfaces as a
+// *QueryPanicError, never as a process-killing unwind.
+func (e *Engine) ExecPrepared(ctx context.Context, p *Prepared, opts *ExecOptions, params ...types.Value) (*storage.Chunk, error) {
+	chunk, _, err := e.run(ctx, request{prep: p, params: params, opts: opts})
+	return chunk, err
+}
+
+// ExecPreparedCursor executes a prepared statement and returns an
+// incremental cursor over its result. For a SELECT under the pull
+// executor the cursor is operator-backed: Open runs here, under
+// whatever lock discipline the caller holds — base-table scans
+// snapshot and cached graph indexes refresh now — and execution then
+// proceeds batch-by-batch as the cursor is drained, without the lock.
+// Any other statement (and the materializing executor) executes fully
+// here and the cursor windows a snapshot of the result. The caller
+// must Close the cursor; exhaustion and errors close it implicitly. A
+// panic while opening surfaces as a *QueryPanicError; the facade
+// applies the same conversion to panics raised during the drain.
+func (e *Engine) ExecPreparedCursor(ctx context.Context, p *Prepared, opts *ExecOptions, params ...types.Value) (*exec.Cursor, error) {
+	_, cur, err := e.run(ctx, request{prep: p, params: params, opts: opts, wantCursor: true})
+	return cur, err
+}
+
+// newExecContext builds the exec context for one execution, resolving
+// the executor selection: the option wins, otherwise the GSQL_EXEC
+// process default applies.
+func (e *Engine) newExecContext(ctx context.Context, params []types.Value, opts *ExecOptions) (*exec.Context, error) {
 	ectx := &exec.Context{
 		Ctx:          ctx,
 		Expr:         &expr.Context{Params: params},
 		GraphIndexes: e.graphIndexes,
 		Parallelism:  e.effectiveParallelism(opts),
 		Stats:        e.Stats,
+		Materialize:  exec.DefaultMaterialize(),
 	}
+	if opts != nil {
+		ectx.BatchRows = opts.BatchRows
+		switch opts.Executor {
+		case "":
+		case ExecutorPull:
+			ectx.Materialize = false
+		case ExecutorMaterialize:
+			ectx.Materialize = true
+		default:
+			return nil, fmt.Errorf("unknown executor %q (supported: %s, %s)", opts.Executor, ExecutorPull, ExecutorMaterialize)
+		}
+	}
+	return ectx, nil
+}
+
+// runSelect executes a bound plan for run: buffered, or through an
+// incremental cursor when the request asks for one.
+func (e *Engine) runSelect(ctx context.Context, pl plan.Node, req request) (*storage.Chunk, *exec.Cursor, error) {
+	opts := req.opts
+	ectx, err := e.newExecContext(ctx, req.params, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !req.wantCursor || ectx.Materialize {
+		chunk, err := e.execSelect(pl, ectx, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !req.wantCursor {
+			return chunk, nil, nil
+		}
+		if chunk != nil {
+			chunk = chunk.Snapshot()
+		}
+		return nil, exec.NewCursor(ctx, chunk), nil
+	}
+	// Pull cursor: execution happens as the cursor drains. The
+	// "execute" stage span opens now and ends via the cursor's close
+	// hook, so its duration covers the actual execution window and the
+	// in-flight stage shows "execute" for as long as batches flow.
+	var onClose func()
+	if opts != nil && opts.Trace != nil {
+		tr := opts.Trace
+		sp := tr.Begin(trace.NoSpan, "execute")
+		ectx.Trace = tr
+		ectx.TraceSpan = sp
+		onClose = func() { tr.End(sp) }
+	}
+	fail := func(err error) (*storage.Chunk, *exec.Cursor, error) {
+		if onClose != nil {
+			onClose()
+		}
+		return nil, nil, err
+	}
+	op, err := exec.Build(pl, ectx)
+	if err != nil {
+		return fail(err)
+	}
+	if err := op.Open(ectx); err != nil {
+		op.Close()
+		return fail(err)
+	}
+	return nil, exec.NewOperatorCursor(ctx, op, onClose), nil
+}
+
+// execSelect runs a bound plan to a materialized chunk, attaching the
+// options' trace (if any) so every operator records a span under one
+// "execute" stage.
+func (e *Engine) execSelect(pl plan.Node, ectx *exec.Context, opts *ExecOptions) (*storage.Chunk, error) {
 	if opts != nil && opts.Trace != nil {
 		sp := opts.Trace.Begin(trace.NoSpan, "execute")
 		ectx.Trace = opts.Trace
@@ -301,15 +437,12 @@ func (e *Engine) execExplain(ctx context.Context, ex *ast.ExplainStmt, pl plan.N
 		// A private trace keeps the rendering to this statement's spans
 		// even when the caller traces the enclosing request.
 		tr := trace.New()
-		ectx := &exec.Context{
-			Ctx:          ctx,
-			Expr:         &expr.Context{Params: params},
-			GraphIndexes: e.graphIndexes,
-			Parallelism:  e.effectiveParallelism(opts),
-			Stats:        e.Stats,
-			Trace:        tr,
-			TraceSpan:    trace.NoSpan,
+		ectx, err := e.newExecContext(ctx, params, opts)
+		if err != nil {
+			return nil, err
 		}
+		ectx.Trace = tr
+		ectx.TraceSpan = trace.NoSpan
 		if _, err := exec.Execute(pl, ectx); err != nil {
 			return nil, err
 		}
@@ -374,7 +507,7 @@ func (e *Engine) ExecScriptCtx(ctx context.Context, sql string, params ...types.
 				return nil, err
 			}
 		}
-		last, err = e.execStmt(ctx, s, params, nil)
+		last, _, err = e.run(ctx, request{prep: &Prepared{stmt: s}, params: params})
 		if err != nil {
 			return nil, err
 		}
@@ -406,7 +539,11 @@ func (e *Engine) execStmt(ctx context.Context, stmt ast.Statement, params []type
 		if err != nil {
 			return nil, err
 		}
-		return e.execSelect(ctx, plan.Rewrite(p), params, opts)
+		ectx, err := e.newExecContext(ctx, params, opts)
+		if err != nil {
+			return nil, err
+		}
+		return e.execSelect(plan.Rewrite(p), ectx, opts)
 	case *ast.ExplainStmt:
 		return e.execExplain(ctx, t, nil, params, opts)
 	case *ast.CreateTableStmt:

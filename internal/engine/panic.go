@@ -60,3 +60,11 @@ func recoverExecPanic(errp *error) {
 	}
 	*errp = &QueryPanicError{Value: r, Stack: debug.Stack()}
 }
+
+// CapturePanic is recoverExecPanic for consumers outside this package:
+// with the pull executor, operator code runs while a cursor drains —
+// after ExecPreparedCursor returned — so the facade defers this in its
+// batch reader to keep the containment contract. It is a function
+// variable (not a wrapper) because recover only works when called
+// directly by the deferred function.
+var CapturePanic = recoverExecPanic

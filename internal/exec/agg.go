@@ -80,6 +80,12 @@ func execAggregate(a *plan.Aggregate, ctx *Context) (*storage.Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
+	return aggregateCore(a, in, ctx)
+}
+
+// aggregateCore groups and aggregates one materialized input chunk;
+// the pipeline-breaking core shared by both executors.
+func aggregateCore(a *plan.Aggregate, in *storage.Chunk, ctx *Context) (*storage.Chunk, error) {
 	n := in.NumRows()
 
 	// Evaluate group-by keys and aggregate arguments column-at-a-time.

@@ -1,7 +1,25 @@
-// Package exec interprets bound logical plans over the columnar
-// storage layer. Every operator fully materializes its result, the
-// MonetDB execution model the paper's prototype builds on (§3.3:
-// "all intermediate results are fully materialized").
+// Package exec executes bound logical plans over the columnar storage
+// layer. Two executors share one set of operator cores:
+//
+// The default executor is pull-based: Build compiles the plan into an
+// Operator tree (Open / Next / Close) whose pipeline-able operators —
+// scans, filter, projection, UNNEST, LIMIT, UNION ALL — produce and
+// consume bounded storage.Chunk batches, so intermediate memory stays
+// proportional to batch size × pipeline depth and the first batch
+// reaches the consumer before execution completes. Pipeline breakers —
+// join, GraphMatch, aggregation, sort, distinct, the deduplicating set
+// operations, CTE bodies — consume their inputs batch-at-a-time, then
+// run the same parallel materializing cores the legacy executor uses
+// and window their output back into batches.
+//
+// The legacy executor (Context.Materialize, or GSQL_EXEC=materialize
+// process-wide) interprets the plan recursively with every operator
+// fully materialized — the MonetDB execution model the paper's
+// prototype builds on (§3.3: "all intermediate results are fully
+// materialized"). Both executors run the same expression evaluation
+// and the same deterministic parallel cores, so their results are
+// value-identical at any worker count; the differential tests in this
+// package and the engine's corpus pin that down.
 package exec
 
 import (
@@ -50,9 +68,42 @@ type Context struct {
 	// Trace costs nothing on the execution path.
 	Trace     *trace.Trace
 	TraceSpan trace.SpanID
+	// Materialize selects the legacy full-materialization interpreter
+	// instead of the pull executor. The zero value follows the process
+	// default (see DefaultMaterialize).
+	Materialize bool
+	// BatchRows bounds the rows per batch the pull executor's operators
+	// emit; <= 0 uses DefaultBatchRows. Ignored by the materializing
+	// executor.
+	BatchRows int
 	// shared caches the results of Shared (CTE) subplans within one
-	// execution.
+	// execution (materializing executor).
 	shared map[*plan.Shared]*storage.Chunk
+	// sharedPull caches the per-execution state of Shared (CTE)
+	// subplans for the pull executor; see sharedOp.
+	sharedPull map[*plan.Shared]*sharedState
+}
+
+// batchRows resolves the effective pull-executor batch bound.
+func (ctx *Context) batchRows() int {
+	if ctx.BatchRows > 0 {
+		return ctx.BatchRows
+	}
+	return DefaultBatchRows
+}
+
+// sharedPullState returns (allocating on first use) the shared
+// materialization state for one CTE plan node.
+func (ctx *Context) sharedPullState(t *plan.Shared) *sharedState {
+	if ctx.sharedPull == nil {
+		ctx.sharedPull = make(map[*plan.Shared]*sharedState)
+	}
+	st := ctx.sharedPull[t]
+	if st == nil {
+		st = &sharedState{}
+		ctx.sharedPull[t] = st
+	}
+	return st
 }
 
 // Stats instruments the phases of graph-select execution for the E6
@@ -86,10 +137,11 @@ func (ctx *Context) Canceled() error {
 	return ctx.Ctx.Err()
 }
 
-// Execute runs a plan and returns the materialized result. With a
-// trace attached it brackets every operator in a span carrying the
-// operator's Describe line, wall time and output row count, nested to
-// mirror the plan tree.
+// Execute runs a plan and returns the materialized result, through
+// the executor the Context selects (pull by default; see the package
+// comment). With a trace attached it brackets every operator in a
+// span carrying the operator's Describe line, wall time and output
+// row count, nested to mirror the plan tree.
 func Execute(n plan.Node, ctx *Context) (*storage.Chunk, error) {
 	if ctx == nil {
 		ctx = &Context{}
@@ -101,6 +153,12 @@ func Execute(n plan.Node, ctx *Context) (*storage.Chunk, error) {
 		// context instead of each re-deciding.
 		//gsqlvet:allow ctxprop library entry point; engine callers always set Ctx
 		ctx.Ctx = context.Background()
+	}
+	if ctx.Expr == nil {
+		ctx.Expr = &expr.Context{}
+	}
+	if !ctx.Materialize {
+		return runPull(n, ctx)
 	}
 	tr := ctx.Trace
 	if tr == nil {
@@ -177,7 +235,11 @@ func execNode(n plan.Node, ctx *Context) (*storage.Chunk, error) {
 	case *plan.SetOp:
 		return execSetOp(t, ctx)
 	}
-	return nil, fmt.Errorf("internal: unknown plan node %T", n)
+	return nil, planNodeError(n)
+}
+
+func planNodeError(n plan.Node) error {
+	return fmt.Errorf("internal: unknown plan node %T", n)
 }
 
 func execFilter(f *plan.Filter, ctx *Context) (*storage.Chunk, error) {
@@ -185,6 +247,12 @@ func execFilter(f *plan.Filter, ctx *Context) (*storage.Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
+	return filterCore(f, in, ctx)
+}
+
+// filterCore applies the predicate to one input chunk; row-local, so
+// per-batch application concatenates to the whole-input result.
+func filterCore(f *plan.Filter, in *storage.Chunk, ctx *Context) (*storage.Chunk, error) {
 	pc, err := f.Pred.Eval(ctx.Expr, in)
 	if err != nil {
 		return nil, err
@@ -201,6 +269,11 @@ func execProject(p *plan.Project, ctx *Context) (*storage.Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
+	return projectCore(p, in, ctx)
+}
+
+// projectCore evaluates the projection over one input chunk.
+func projectCore(p *plan.Project, in *storage.Chunk, ctx *Context) (*storage.Chunk, error) {
 	out := &storage.Chunk{Schema: p.Sch, Cols: make([]*storage.Column, len(p.Exprs))}
 	for i, e := range p.Exprs {
 		c, err := e.Eval(ctx.Expr, in)
@@ -217,6 +290,12 @@ func execSort(s *plan.Sort, ctx *Context) (*storage.Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
+	return sortCore(s, in, ctx)
+}
+
+// sortCore orders one materialized input chunk; the pipeline-breaking
+// core shared by both executors.
+func sortCore(s *plan.Sort, in *storage.Chunk, ctx *Context) (*storage.Chunk, error) {
 	n := in.NumRows()
 	keys := make([]*storage.Column, len(s.Keys))
 	for i, k := range s.Keys {
@@ -273,33 +352,44 @@ func execSort(s *plan.Sort, ctx *Context) (*storage.Chunk, error) {
 	return in.GatherP(idx, workers), nil
 }
 
+// limitBounds evaluates and validates OFFSET/LIMIT. unlimited is true
+// when no LIMIT clause is present (count is then meaningless).
+func limitBounds(l *plan.Limit, ctx *Context) (skip, count int, unlimited bool, err error) {
+	if l.Skip != nil {
+		v, err := expr.EvalScalar(l.Skip, ctx.Expr)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if v.Null || v.K != types.KindInt || v.I < 0 {
+			return 0, 0, false, fmt.Errorf("OFFSET must be a non-negative integer")
+		}
+		skip = int(v.I)
+	}
+	if l.Count == nil {
+		return skip, 0, true, nil
+	}
+	v, err := expr.EvalScalar(l.Count, ctx.Expr)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if v.Null || v.K != types.KindInt || v.I < 0 {
+		return 0, 0, false, fmt.Errorf("LIMIT must be a non-negative integer")
+	}
+	return skip, int(v.I), false, nil
+}
+
 func execLimit(l *plan.Limit, ctx *Context) (*storage.Chunk, error) {
 	in, err := Execute(l.Input, ctx)
 	if err != nil {
 		return nil, err
 	}
 	n := in.NumRows()
-	skip := 0
-	if l.Skip != nil {
-		v, err := expr.EvalScalar(l.Skip, ctx.Expr)
-		if err != nil {
-			return nil, err
-		}
-		if v.Null || v.K != types.KindInt || v.I < 0 {
-			return nil, fmt.Errorf("OFFSET must be a non-negative integer")
-		}
-		skip = int(v.I)
+	skip, count, unlimited, err := limitBounds(l, ctx)
+	if err != nil {
+		return nil, err
 	}
-	count := n
-	if l.Count != nil {
-		v, err := expr.EvalScalar(l.Count, ctx.Expr)
-		if err != nil {
-			return nil, err
-		}
-		if v.Null || v.K != types.KindInt || v.I < 0 {
-			return nil, fmt.Errorf("LIMIT must be a non-negative integer")
-		}
-		count = int(v.I)
+	if unlimited {
+		count = n
 	}
 	lo := skip
 	if lo > n {
@@ -321,6 +411,12 @@ func execDistinct(d *plan.Distinct, ctx *Context) (*storage.Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
+	return distinctCore(d, in, ctx)
+}
+
+// distinctCore deduplicates one materialized input chunk; the
+// pipeline-breaking core shared by both executors.
+func distinctCore(_ *plan.Distinct, in *storage.Chunk, ctx *Context) (*storage.Chunk, error) {
 	n := in.NumRows()
 	workers := ctx.workers(n)
 	if workers <= 1 {

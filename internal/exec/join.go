@@ -51,6 +51,12 @@ func execJoin(j *plan.Join, ctx *Context) (*storage.Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
+	return joinCore(j, left, right, ctx)
+}
+
+// joinCore joins two materialized operands; the pipeline-breaking
+// core shared by both executors.
+func joinCore(j *plan.Join, left, right *storage.Chunk, ctx *Context) (*storage.Chunk, error) {
 	switch j.Type {
 	case plan.JoinCross:
 		return crossJoin(j, left, right, ctx), nil

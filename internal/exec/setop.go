@@ -17,6 +17,13 @@ func execSetOp(s *plan.SetOp, ctx *Context) (*storage.Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
+	return setOpCore(s, left, right, ctx)
+}
+
+// setOpCore runs UNION/EXCEPT/INTERSECT over two materialized
+// operands; the pipeline-breaking core shared by both executors
+// (UNION ALL additionally has a pipelining pull operator).
+func setOpCore(s *plan.SetOp, left, right *storage.Chunk, ctx *Context) (*storage.Chunk, error) {
 	if len(left.Cols) != len(right.Cols) {
 		return nil, fmt.Errorf("%s: operands have %d and %d columns", s.Op, len(left.Cols), len(right.Cols))
 	}

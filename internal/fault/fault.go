@@ -64,6 +64,9 @@ const (
 	PointSolverLevel = "solver.level"
 	// PointExecOperator fires before every relational operator.
 	PointExecOperator = "exec.operator"
+	// PointExecBatch fires before every batch a pull-executor operator
+	// produces (Operator.Next).
+	PointExecBatch = "exec.batch"
 	// PointCacheInsert fires on result-cache admission; an error makes
 	// the insert silently fail (the result is served but not cached).
 	PointCacheInsert = "server.cache.insert"

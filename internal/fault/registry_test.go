@@ -14,6 +14,7 @@ var allPoints = []string{
 	PointSolverGroup,
 	PointSolverLevel,
 	PointExecOperator,
+	PointExecBatch,
 	PointCacheInsert,
 	PointStreamEncode,
 }

@@ -1,0 +1,18 @@
+package cursorpair_test
+
+import (
+	"testing"
+
+	"graphsql/internal/lint/analysistest"
+	"graphsql/internal/lint/cursorpair"
+)
+
+func TestGated(t *testing.T) {
+	analysistest.Run(t, cursorpair.Analyzer,
+		"../testdata/src/cursorpair/gated", "graphsql/internal/server/fixture")
+}
+
+func TestUngated(t *testing.T) {
+	analysistest.Run(t, cursorpair.Analyzer,
+		"../testdata/src/cursorpair/ungated", "graphsql/internal/bench/fixture")
+}

@@ -16,6 +16,7 @@ package lint
 import (
 	"graphsql/internal/lint/analysis"
 	"graphsql/internal/lint/ctxprop"
+	"graphsql/internal/lint/cursorpair"
 	"graphsql/internal/lint/determinism"
 	"graphsql/internal/lint/faultpoint"
 	"graphsql/internal/lint/parbudget"
@@ -26,6 +27,7 @@ import (
 // Analyzers is the full gsqlvet suite, in stable order.
 var Analyzers = []*analysis.Analyzer{
 	ctxprop.Analyzer,
+	cursorpair.Analyzer,
 	determinism.Analyzer,
 	faultpoint.Analyzer,
 	parbudget.Analyzer,

@@ -1,0 +1,124 @@
+// Fixture for cursorpair, type-checked under a request-path import
+// path.
+package fixture
+
+import (
+	"graphsql"
+	"graphsql/internal/exec"
+)
+
+func acquire() (*exec.Cursor, error) { return exec.NewCursor(nil, nil), nil }
+func acquireOp() (exec.Operator, error) {
+	return nil, nil
+}
+func acquireRows() (*graphsql.Rows, error) { return nil, nil }
+
+// deferredClose is the canonical shape: the error-guard return before
+// the first use is fine (the cursor is nil there), the deferred Close
+// covers every later path.
+func deferredClose() error {
+	cur, err := acquire()
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	_, err = cur.Next(10)
+	return err
+}
+
+// deferredClosure closes the cursor inside a deferred literal.
+func deferredClosure() error {
+	cur, err := acquire()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		cur.Close()
+	}()
+	_, err = cur.Next(10)
+	return err
+}
+
+// positionalClose is fine: no return between the first use and the
+// Close.
+func positionalClose() {
+	cur, _ := acquire()
+	cur.Next(10)
+	cur.Close()
+}
+
+// resultDrain: Result drains to exhaustion and closes, so it counts
+// as the release.
+func resultDrain() error {
+	rows, err := acquireRows()
+	if err != nil {
+		return err
+	}
+	_, err = rows.Result()
+	return err
+}
+
+// earlyReturn leaks the live tree on the error path after the cursor
+// was used.
+func earlyReturn() error {
+	cur, _ := acquire()
+	if _, err := cur.Next(10); err != nil {
+		return err // want "return leaks cursor \"cur\""
+	}
+	cur.Close()
+	return nil
+}
+
+// neverClosed has no Close, no Result and no handoff.
+func neverClosed() {
+	cur, _ := acquire() // want "cursor \"cur\" is never closed"
+	cur.Next(10)
+}
+
+// operatorNeverClosed: the Operator interface is held to the same
+// pairing.
+func operatorNeverClosed() {
+	op, _ := acquireOp() // want "cursor \"op\" is never closed"
+	op.Open(nil)
+}
+
+// discarded cursors can never be closed.
+func discarded() {
+	_, _ = acquire() // want "cursor is discarded"
+	acquire()        // want "cursor is discarded"
+}
+
+// handoffArg: passing the cursor to another call transfers ownership.
+func handoffArg() {
+	cur, _ := acquire()
+	consume(cur)
+}
+
+// handoffReturn: returning the cursor transfers ownership to the
+// caller.
+func handoffReturn() (*exec.Cursor, error) {
+	cur, err := acquire()
+	if err != nil {
+		return nil, err
+	}
+	return cur, nil
+}
+
+// handoffField: storing into a field transfers ownership to the
+// struct's owner.
+func handoffField(h *holder) {
+	cur, _ := acquire()
+	h.cur = cur
+}
+
+// annotated: the cursor outlives this function by design; suppressed
+// with a reason.
+func annotated() {
+	//gsqlvet:allow cursorpair cursor closed by the registry that owns it
+	cur, _ := acquire()
+	cur.Next(10)
+}
+
+type holder struct{ cur *exec.Cursor }
+
+func consume(*exec.Cursor) {}

@@ -1,0 +1,12 @@
+// Fixture for cursorpair, type-checked under an import path outside
+// the request-path gate: the same leak produces no findings.
+package fixture
+
+import "graphsql/internal/exec"
+
+func acquire() (*exec.Cursor, error) { return exec.NewCursor(nil, nil), nil }
+
+func neverClosed() {
+	cur, _ := acquire()
+	cur.Next(10)
+}

@@ -687,33 +687,35 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q querySpec) {
 	inq.workers.Store(int32(grant.Workers))
 	// The grant goes back exactly once no matter how this request ends —
 	// including a panic unwinding to the middleware recover, which this
-	// deferred release runs before. The streaming path releases early
-	// (once its cursor exists) and the flag makes that idempotent.
-	released := false
-	releaseGrant := func() {
-		if !released {
-			released = true
-			grant.Release()
-		}
-	}
-	defer releaseGrant()
+	// deferred release runs before. The streaming path holds it through
+	// the drain: under the pull executor the engine does its work while
+	// the stream is being written, so the slot stays occupied until the
+	// trailer (or the failure) — a streaming query is in flight for
+	// exactly as long as it is executing.
+	defer grant.Release()
 
 	s.queries.Add(1)
 	opts := graphsql.QueryOptions{Workers: grant.Workers, Trace: tr}
 	if q.stream {
+		// The requested frame size also drives the pull executor's
+		// operator batches, so a small-batch stream starts flowing after
+		// the first few rows are computed instead of after the first
+		// 1024.
+		opts.BatchRows = batch
 		rows, qerr := fsess.QueryRows(ctx, opts, q.sql, q.args...)
-		// Engine work is over once the cursor exists (it walks a stable
-		// snapshot), so a write purges the cache and the worker grant
-		// goes back NOW — a slow reader draining a big stream must not
-		// pin an in-flight slot and starve admission.
+		// A write issued with stream:true executed to completion inside
+		// QueryRows (writes still materialize under the write lock), so
+		// its cache purge happens before anything streams out.
 		if s.cache != nil && invalidatingSQL(q.sql) {
 			s.cache.InvalidateGraph(graphName)
 		}
-		releaseGrant()
 		if qerr != nil {
 			outcome = s.failExec(w, ctx, timedOut, qerr, qid, fp)
 			return
 		}
+		// The cursor owns a live operator tree; release it even when the
+		// stream is torn before exhaustion (client gone mid-stream).
+		defer rows.Close()
 		// A streaming miss feeds the cache too: the batches are
 		// accumulated as they go out (bounded by the admission budget, so
 		// a result too big to cache stops buffering instead of doubling
@@ -840,14 +842,17 @@ func (c *streamCollector) add(b [][]any) {
 }
 
 // streamRows writes a chunked response from a live row-batch cursor.
-// The result set is converted and encoded batch by batch — the full
-// response never exists server-side (except in collect, when the cache
-// wants the result and it fits the admission budget). A cancellation
-// between batches ends the stream with an error trailer; so does a
-// server-side encoding failure or a panic (recovered locally — the
-// header is already on the wire, so the middleware could not answer
-// 500; a stream is only ever torn by its error trailer, never
-// silently). It reports the wire code the stream failed with ("" for a
+// Under the pull executor the cursor *is* the execution: each NextBatch
+// runs the operator tree far enough to fill one batch, so the first
+// frame reaches the client while the query is still running and the
+// full response never exists server-side (except in collect, when the
+// cache wants the result and it fits the admission budget). Any
+// failure between batches — cancellation, a contained panic, an
+// injected fault, a runtime execution error — ends the stream with an
+// error trailer; so does a server-side encoding failure or a panic
+// (recovered locally — the header is already on the wire, so the
+// middleware could not answer 500; a stream is only ever torn by its
+// error trailer, never silently). It reports the wire code the stream failed with ("" for a
 // clean trailer — only then may the collected result be cached; a
 // recovered panic reports CodePanic like every other failure) and the
 // rows delivered. ttr, when non-nil, is the query's trace, whose tree
@@ -881,12 +886,32 @@ func (s *Server) streamRows(w http.ResponseWriter, ctx context.Context, timedOut
 	for {
 		b, err := rows.NextBatch(batch)
 		if err != nil {
-			// The only error source between batches is the context.
-			code := wire.CodeCanceled
-			if timedOut() {
+			// Under the pull executor the query is still executing while
+			// it streams, so any execution failure — a contained panic,
+			// an injected fault, a runtime error — can surface between
+			// batches, not just cancellation. Classify like failExec; the
+			// header is already on the wire, so the error travels as a
+			// structured trailer.
+			var qp *graphsql.QueryPanicError
+			var inj *fault.InjectedError
+			code := wire.CodeSQL
+			switch {
+			case errors.As(err, &qp):
+				s.recordPanic(ctx, qp.Value, qp.Stack, qid, fp)
+				code = wire.CodePanic
+			case errors.As(err, &inj):
+				code = wire.CodeInternal
+			case timedOut():
 				code = wire.CodeTimeout
+			case ctx.Err() != nil:
+				code = wire.CodeCanceled
 			}
-			abandon(code)
+			if code == wire.CodeTimeout || code == wire.CodeCanceled {
+				abandon(code)
+			} else {
+				s.errors.Add(1)
+				failCode = code
+			}
 			sw.Fail(code, err)
 			return failCode, sw.RowsSent()
 		}

@@ -11,6 +11,8 @@ import (
 	"testing"
 	"time"
 
+	"graphsql/internal/exec"
+	"graphsql/internal/fault"
 	"graphsql/internal/testutil"
 	"graphsql/internal/wire"
 )
@@ -124,23 +126,32 @@ INSERT INTO big SELECT n1.x, n2.x FROM nums n1, nums n2;`, numsList(side))
 	}
 }
 
-// TestServerStreamReleasesGrantDuringDrain: once the cursor exists the
-// engine's work is done (the stream walks a stable snapshot), so the
-// admission grant must come back before the client drains the body — a
-// slow reader of a big stream may not pin the in-flight slot and
-// starve other queries.
-func TestServerStreamReleasesGrantDuringDrain(t *testing.T) {
-	const side = 350 // side^2 = 122500 rows: far beyond the socket buffers
+// TestServerStreamFirstFrameBeforeCompletion is the time-to-first-row
+// acceptance test: with a latency fault slowing every pull-executor
+// batch, the stream's header and first batch frame must reach the
+// client while the query is still executing — under the pull executor
+// the stream starts with the first batch, not after the last one. The
+// admission grant is held for that whole window (the engine is
+// genuinely working during the drain), so the in-flight slot must read
+// 1 when the first frame lands and 0 only after the trailer.
+func TestServerStreamFirstFrameBeforeCompletion(t *testing.T) {
+	if exec.DefaultMaterialize() {
+		t.Skip("time-to-first-row is a pull-executor property; under GSQL_EXEC=materialize the escape hatch executes fully before streaming")
+	}
+	t.Cleanup(fault.Reset)
 	s, hs := newTestServer(t, Config{MaxInFlight: 1, QueueDepth: -1, TotalWorkers: 1})
 	script := fmt.Sprintf(`CREATE TABLE nums (x BIGINT);
-INSERT INTO nums VALUES (0)%s;
-CREATE TABLE big (a BIGINT, b BIGINT);
-INSERT INTO big SELECT n1.x, n2.x FROM nums n1, nums n2;`, numsList(side))
+INSERT INTO nums VALUES (0)%s;`, numsList(60))
 	if status, body := postJSON(t, hs.URL+"/graphs/default/load", &wire.LoadRequest{Script: script}); status != http.StatusOK {
 		t.Fatalf("load: %d: %s", status, body)
 	}
+	// 20ms before every batch an operator produces: 12 batches of 5 rows
+	// make execution take ~some hundreds of ms, far longer than the
+	// first frame needs.
+	fault.Set(fault.Rule{Point: fault.PointExecBatch, Kind: fault.KindLatency, Latency: 20 * time.Millisecond})
 
-	reqBody, _ := json.Marshal(&wire.QueryRequest{SQL: `SELECT a, b FROM big`, Stream: true})
+	start := time.Now()
+	reqBody, _ := json.Marshal(&wire.QueryRequest{SQL: `SELECT x FROM nums`, Stream: true, BatchRows: 5})
 	resp, err := http.Post(hs.URL+"/query", "application/json", bytes.NewReader(reqBody))
 	if err != nil {
 		t.Fatal(err)
@@ -151,31 +162,41 @@ INSERT INTO big SELECT n1.x, n2.x FROM nums n1, nums n2;`, numsList(side))
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Only the header has been read; the server is mid-drain. The slot
-	// must already be free.
-	deadline := time.Now().Add(5 * time.Second)
-	for s.adm.Snapshot().InFlight != 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("in-flight slot still held while the stream drains")
-		}
-		time.Sleep(time.Millisecond)
+	firstBatch, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
 	}
-	// With MaxInFlight=1 and queueing disabled, this only succeeds if
-	// the streaming query's slot truly came back.
-	if status, body := postJSON(t, hs.URL+"/query", &wire.QueryRequest{SQL: `SELECT 1`}); status != http.StatusOK {
-		t.Fatalf("concurrent query during drain: %d: %s", status, body)
+	ttfr := time.Since(start)
+	// The first frame arrived while the query executes: its slot is
+	// still in flight, and the trailer is still pending.
+	if got := s.adm.Snapshot().InFlight; got != 1 {
+		t.Fatalf("in-flight slots after first frame = %d, want 1 (query should still be executing)", got)
 	}
-	// The parked stream still completes intact.
 	rest, err := io.ReadAll(br)
 	if err != nil {
 		t.Fatal(err)
 	}
-	folded, _, err := wire.FoldStream(bytes.NewReader(append(header, rest...)))
+	total := time.Since(start)
+	stream := append(append(header, firstBatch...), rest...)
+	folded, batches, err := wire.FoldStream(bytes.NewReader(stream))
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("fold: %v\nbody: %s", err, stream)
 	}
-	if folded.RowCount != side*side {
-		t.Fatalf("drained stream has %d rows, want %d", folded.RowCount, side*side)
+	if folded.RowCount != 60 || batches < 12 {
+		t.Fatalf("stream folded to %d rows in %d batches, want 60 rows in >= 12 batches", folded.RowCount, batches)
+	}
+	// Generous margin: the remaining ~11 batches each slept 20ms after
+	// the first frame was already out.
+	if ttfr >= total-100*time.Millisecond {
+		t.Fatalf("first frame took %v of %v total — stream did not start before execution completed", ttfr, total)
+	}
+	// The grant comes back once the stream completes.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.adm.Snapshot().InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight slot still held after the stream completed")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

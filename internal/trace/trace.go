@@ -47,6 +47,7 @@ type span struct {
 	start   time.Duration // offset from Trace epoch
 	end     time.Duration // -1 while open
 	rows    int64         // -1 = not an operator span
+	batches int64         // pull-executor batches emitted; 0 = n/a
 	workers int
 	levels  []levelSample
 }
@@ -109,6 +110,18 @@ func (t *Trace) SetRows(id SpanID, n int64) {
 	t.mu.Lock()
 	if int(id) < len(t.spans) {
 		t.spans[id].rows = n
+	}
+	t.mu.Unlock()
+}
+
+// AddBatch counts one batch emitted by a pull-executor operator span.
+func (t *Trace) AddBatch(id SpanID) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.mu.Lock()
+	if int(id) < len(t.spans) {
+		t.spans[id].batches++
 	}
 	t.mu.Unlock()
 }
@@ -264,6 +277,7 @@ type Node struct {
 	DurUS    int64   `json:"dur_us"`
 	Rows     *int64  `json:"rows,omitempty"`
 	RowsIn   *int64  `json:"rows_in,omitempty"`
+	Batches  int64   `json:"batches,omitempty"`
 	Workers  int     `json:"workers,omitempty"`
 	Levels   []Level `json:"levels,omitempty"`
 	Children []*Node `json:"children,omitempty"`
@@ -297,6 +311,7 @@ func (t *Trace) Tree() *Node {
 			Name:    s.name,
 			StartUS: s.start.Microseconds(),
 			DurUS:   (e - s.start).Microseconds(),
+			Batches: s.batches,
 			Workers: s.workers,
 		}
 		if s.rows >= 0 {

@@ -6,7 +6,6 @@ import (
 
 	"graphsql/internal/engine"
 	"graphsql/internal/sql/fingerprint"
-	"graphsql/internal/storage"
 	"graphsql/internal/trace"
 	"graphsql/internal/types"
 )
@@ -47,7 +46,9 @@ func (s *Session) Parallelism() int {
 	return s.parallelism
 }
 
-// QueryOptions carries per-statement overrides of a session query.
+// QueryOptions carries per-statement overrides of a query; the zero
+// value inherits every default. It is shared by the DB-level core
+// (DB.QueryRows) and the session variants.
 type QueryOptions struct {
 	// Workers caps the worker budget of this statement only; it beats
 	// the session's SET parallelism, which beats the DB default. 0 (or
@@ -58,7 +59,27 @@ type QueryOptions struct {
 	// per-operator execution tree. Create one with NewTrace. Nil — the
 	// default — disables tracing at zero cost.
 	Trace *trace.Trace
+	// Executor selects the SELECT executor for this statement:
+	// "pull" (batch-at-a-time execution during the cursor drain) or
+	// "materialize" (the legacy execute-everything-then-window
+	// executor). Empty inherits the process default — pull, unless the
+	// GSQL_EXEC=materialize environment override is set. Both executors
+	// produce byte-identical results; the knob exists for differential
+	// testing and as an operational escape hatch.
+	Executor string
+	// BatchRows bounds the row count of the batches the pull executor's
+	// pipeline operators hand between each other; 0 (or negative) uses
+	// the default (1024). Smaller batches lower time-to-first-row and
+	// peak intermediate memory at some per-batch overhead.
+	BatchRows int
 }
+
+// ExecutorPull and ExecutorMaterialize are the QueryOptions.Executor
+// values.
+const (
+	ExecutorPull        = engine.ExecutorPull
+	ExecutorMaterialize = engine.ExecutorMaterialize
+)
 
 // Query runs one statement in the session. SET statements update the
 // session's settings; everything else behaves like DB.QueryCtx with the
@@ -67,63 +88,23 @@ func (s *Session) Query(ctx context.Context, sql string, args ...any) (*Result, 
 	return s.QueryOpts(ctx, QueryOptions{}, sql, args...)
 }
 
-// QueryOpts is Query with per-statement overrides.
+// QueryOpts is Query with per-statement overrides: QueryRows drained
+// into a Result.
 func (s *Session) QueryOpts(ctx context.Context, qo QueryOptions, sql string, args ...any) (*Result, error) {
-	params, err := bindArgs(args)
+	rows, err := s.QueryRows(ctx, qo, sql, args...)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	override := s.parallelism
-	if qo.Workers > 0 {
-		override = qo.Workers
-	}
-	opts := &engine.ExecOptions{Parallelism: override, OnSet: s.applySet, Trace: qo.Trace}
-
-	db := s.db
-	db.mu.RLock()
-	spPlan := qo.Trace.Begin(trace.NoSpan, "plan")
-	p, execParams, err := s.resolvePlanTraced(qo.Trace, spPlan, sql, params)
-	qo.Trace.End(spPlan)
-	if err != nil {
-		db.mu.RUnlock()
-		return nil, err
-	}
-	if p.IsSelect() || p.IsSet() {
-		// Reads — and session-scoped SETs, which never touch the engine
-		// thanks to applySet — stay under the read lock.
-		defer db.mu.RUnlock()
-		chunk, err := db.eng.ExecPrepared(ctx, p, opts, execParams...)
-		if err != nil {
-			return nil, err
-		}
-		if chunk == nil {
-			return &Result{}, nil
-		}
-		return chunkToResult(chunk), nil
-	}
-	db.mu.RUnlock()
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	// Writes carry no bound plan, so ExecPrepared binds them here
-	// against the current catalog — no second parse.
-	chunk, err := db.eng.ExecPrepared(ctx, p, opts, execParams...)
-	if err != nil {
-		return nil, err
-	}
-	if chunk == nil {
-		return &Result{}, nil
-	}
-	return chunkToResult(chunk), nil
+	return rows.Result()
 }
 
-// QueryRows is QueryOpts returning an incremental row-batch cursor
-// instead of a fully converted Result; see DB.QueryRowsCtx. SELECTs
-// release the read lock before returning (the cursor walks a stable
-// chunk snapshot), and the prepared-plan cache is shared with
-// Query/QueryOpts.
+// QueryRows is the session's core query entry point, mirroring
+// DB.QueryRows with the session's settings and prepared-plan cache
+// applied. SELECTs open their operator tree under the read lock and
+// release it before returning; execution proceeds as the Rows is
+// drained (see DB.QueryRows for the locking and Close contract).
+// Session-scoped SETs never touch the engine thanks to applySet and
+// stay under the read lock too.
 func (s *Session) QueryRows(ctx context.Context, qo QueryOptions, sql string, args ...any) (*Rows, error) {
 	params, err := bindArgs(args)
 	if err != nil {
@@ -136,7 +117,13 @@ func (s *Session) QueryRows(ctx context.Context, qo QueryOptions, sql string, ar
 	if qo.Workers > 0 {
 		override = qo.Workers
 	}
-	opts := &engine.ExecOptions{Parallelism: override, OnSet: s.applySet, Trace: qo.Trace}
+	opts := &engine.ExecOptions{
+		Parallelism: override,
+		OnSet:       s.applySet,
+		Trace:       qo.Trace,
+		Executor:    qo.Executor,
+		BatchRows:   qo.BatchRows,
+	}
 
 	db := s.db
 	db.mu.RLock()
@@ -148,29 +135,23 @@ func (s *Session) QueryRows(ctx context.Context, qo QueryOptions, sql string, ar
 		return nil, err
 	}
 	if p.IsSelect() || p.IsSet() {
-		chunk, err := db.eng.ExecPrepared(ctx, p, opts, execParams...)
+		cur, err := db.eng.ExecPreparedCursor(ctx, p, opts, execParams...)
+		db.mu.RUnlock()
 		if err != nil {
-			db.mu.RUnlock()
 			return nil, err
 		}
-		var snap *storage.Chunk
-		if chunk != nil {
-			snap = chunk.Snapshot()
-		}
-		db.mu.RUnlock()
-		return newRows(ctx, snap), nil
+		return newRows(cur), nil
 	}
 	db.mu.RUnlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	chunk, err := db.eng.ExecPrepared(ctx, p, opts, execParams...)
+	// Writes carry no bound plan, so the engine binds them here against
+	// the current catalog — no second parse.
+	cur, err := db.eng.ExecPreparedCursor(ctx, p, opts, execParams...)
 	if err != nil {
 		return nil, err
 	}
-	if chunk == nil {
-		return newRows(ctx, nil), nil
-	}
-	return newRows(ctx, chunk.Snapshot()), nil
+	return newRows(cur), nil
 }
 
 // StmtInfo describes a prepared statement; see Session.Prepare.
@@ -298,7 +279,7 @@ func (s *Session) cachePlanLocked(key string, p *engine.Prepared) {
 }
 
 // applySet scopes SET statements to the session; called by the engine
-// with the session mutex already held (QueryOpts holds it).
+// with the session mutex already held (QueryRows holds it).
 func (s *Session) applySet(name string, v types.Value) (bool, error) {
 	switch name {
 	case "parallelism":
